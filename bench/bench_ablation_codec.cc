@@ -1,0 +1,49 @@
+// Ablation — Huffman vs FZ-GPU bitshuffle/dictionary as the primary codec
+// (paper §3.2: "These two encoders have very extreme compression metrics,
+// with the Huffman encoder giving an optimal compression ratio and the
+// FZ-GPU encoder executing significantly faster, but sacrificing
+// compressibility.")
+//
+// Same predictor (Lorenzo), same quantization codes, both codecs.
+#include "bench_common.hh"
+#include "fzmod/core/pipeline.hh"
+
+using namespace fzmod;
+
+int main() {
+  const int nfields = bench::fields_per_dataset();
+  bench::print_header(
+      "Ablation: primary codec = huffman vs fzg (same Lorenzo front end)");
+  std::printf("%-10s %-10s %12s %12s %14s %14s\n", "Dataset", "codec", "CR",
+              "bits/val", "comp [GB/s]", "decomp [GB/s]");
+  bench::print_rule(80);
+  for (const auto& ds : data::catalog(data::fullscale_requested())) {
+    for (const char* codec : {core::codec_huffman, core::codec_fzg}) {
+      f64 cr = 0, br = 0, ct = 0, dt = 0;
+      for (int f = 0; f < std::min(nfields, ds.n_fields); ++f) {
+        const auto field = data::generate(ds, f);
+        core::pipeline_config cfg;
+        cfg.eb = {1e-4, eb_mode::rel};
+        cfg.codec = codec;
+        core::pipeline<f32> p(cfg);
+        stopwatch sw;
+        const auto archive = p.compress(field, ds.dims);
+        const f64 tc = sw.seconds();
+        sw.reset();
+        (void)p.decompress(archive);
+        const f64 td = sw.seconds();
+        const int n = std::min(nfields, ds.n_fields);
+        cr += metrics::compression_ratio(field.size() * 4, archive.size()) /
+              n;
+        br += metrics::bit_rate(archive.size(), field.size()) / n;
+        ct += throughput_gbps(field.size() * 4, tc) / n;
+        dt += throughput_gbps(field.size() * 4, td) / n;
+      }
+      std::printf("%-10s %-10s %12.2f %12.3f %14.3f %14.3f\n",
+                  ds.name.c_str(), codec, cr, br, ct, dt);
+    }
+  }
+  std::printf("\nExpected shape: huffman higher CR; fzg higher throughput "
+              "(and no D2H of the raw code stream).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation — fused vs modular execution of the same algorithm
+// (paper §4.3.2: "FZMod-Speed uses the same data-reduction techniques as
+// FZ-GPU yet performs worse at times due to not being a fused-kernel
+// implementation").
+//
+// FZ-GPU (fused baseline) and FZMod-Speed (modular pipeline) run identical
+// data-reduction math; the difference is pass structure. We report
+// throughput and the runtime's kernel-launch ledger for both.
+#include "bench_common.hh"
+#include "fzmod/device/runtime.hh"
+
+using namespace fzmod;
+
+int main() {
+  bench::print_header(
+      "Ablation: fused (FZ-GPU) vs modular (FZMod-Speed) execution");
+  std::printf("%-10s %-14s %12s %12s %12s %10s\n", "Dataset", "impl", "CR",
+              "comp GB/s", "decomp GB/s", "#kernels");
+  bench::print_rule(78);
+  auto& st = device::runtime::instance().stats();
+  for (const auto& ds : data::catalog(data::fullscale_requested())) {
+    const auto field = data::generate(ds, 0);
+    for (const char* name : {"FZ-GPU", "FZMod-Speed"}) {
+      auto c = baselines::make(name);
+      st.reset_transfers();
+      const auto r = bench::run_compressor(*c, field, ds.dims,
+                                           {1e-4, eb_mode::rel});
+      std::printf("%-10s %-14s %12.2f %12.3f %12.3f %10llu\n",
+                  ds.name.c_str(), name, r.cr, r.comp_gbps, r.decomp_gbps,
+                  static_cast<unsigned long long>(
+                      st.kernels_launched.load()));
+    }
+  }
+  std::printf("\nExpected shape: the modular pipeline launches more "
+              "kernels (separate re-centre pass,\nseparate codec stages, "
+              "archive framing) and trails the fused baseline in "
+              "throughput,\nwhile producing comparable ratios — the cost "
+              "of composability the paper names.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Shared bench harness: dataset loading, timed compressor runs, table
+// printing. Every bench binary regenerates one table or figure of the
+// paper (see DESIGN.md §4 for the experiment index).
+//
+// Environment knobs:
+//   FZMOD_FULLSCALE=1     paper-sized datasets (slow; default scaled-down)
+//   FZMOD_BENCH_FIELDS=N  fields averaged per dataset (default 2)
+//   FZMOD_BENCH_REPS=N    timing repetitions, best-of (default 1)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fzmod/baselines/compressor.hh"
+#include "fzmod/common/timer.hh"
+#include "fzmod/data/datasets.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace fzmod::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+inline int fields_per_dataset() { return env_int("FZMOD_BENCH_FIELDS", 2); }
+inline int timing_reps() { return env_int("FZMOD_BENCH_REPS", 1); }
+
+struct run_result {
+  f64 cr = 0;
+  f64 comp_gbps = 0;
+  f64 decomp_gbps = 0;
+  f64 bit_rate = 0;
+  metrics::error_stats err;
+  u64 archive_bytes = 0;
+};
+
+/// One timed compress+decompress of `c` on a field. Throughput is
+/// end-to-end (includes H2D/D2H and serialization), best of `reps`.
+inline run_result run_compressor(baselines::compressor& c,
+                                 std::span<const f32> data, dims3 dims,
+                                 eb_config eb, int reps = timing_reps()) {
+  run_result r;
+  const u64 bytes = data.size() * sizeof(f32);
+  std::vector<u8> archive;
+  f64 best_comp = 1e300, best_decomp = 1e300;
+  std::vector<f32> rec;
+  for (int rep = 0; rep < reps; ++rep) {
+    stopwatch sw;
+    archive = c.compress(data, dims, eb);
+    best_comp = std::min(best_comp, sw.seconds());
+    sw.reset();
+    rec = c.decompress(archive);
+    best_decomp = std::min(best_decomp, sw.seconds());
+  }
+  r.archive_bytes = archive.size();
+  r.cr = metrics::compression_ratio(bytes, archive.size());
+  r.bit_rate = metrics::bit_rate(archive.size(), data.size());
+  r.comp_gbps = throughput_gbps(bytes, best_comp);
+  r.decomp_gbps = throughput_gbps(bytes, best_decomp);
+  r.err = metrics::compare(data, rec);
+  return r;
+}
+
+/// Average a run over the first `nfields` fields of a dataset.
+inline run_result run_on_dataset(baselines::compressor& c,
+                                 const data::dataset_desc& ds, eb_config eb,
+                                 int nfields) {
+  run_result avg;
+  const int n = std::min(nfields, ds.n_fields);
+  for (int f = 0; f < n; ++f) {
+    const auto field = data::generate(ds, f);
+    const auto r = run_compressor(c, field, ds.dims, eb);
+    avg.cr += r.cr / n;
+    avg.comp_gbps += r.comp_gbps / n;
+    avg.decomp_gbps += r.decomp_gbps / n;
+    avg.bit_rate += r.bit_rate / n;
+    avg.archive_bytes += r.archive_bytes;
+    avg.err.max_abs_err = std::max(avg.err.max_abs_err, r.err.max_abs_err);
+    avg.err.psnr += r.err.psnr / n;
+  }
+  return avg;
+}
+
+/// Calibrated bandwidth model (DESIGN.md §1): express the paper's measured
+/// PCIe bandwidth as the same fraction of the throughput leader's
+/// (cuSZp2's) compression throughput that the paper observed. On the H100
+/// the paper's 35.7 GB/s is roughly a quarter of cuSZp2-class throughput;
+/// on the V100 6.91 GB/s is roughly a twentieth. Eq. (1) depends only on
+/// these ratios, so the crossover structure is preserved.
+struct bw_model {
+  const char* platform;
+  f64 paper_bw_gbps;
+  f64 ratio_to_cuszp2;  // BW / T_cuszp2 on the paper's hardware
+};
+
+inline constexpr bw_model h100_model{"H100 (simulated)", 35.7, 0.25};
+inline constexpr bw_model v100_model{"V100 (simulated)", 6.91, 0.04};
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void print_header(const char* title) {
+  print_rule();
+  std::printf("%s\n", title);
+  print_rule();
+}
+
+}  // namespace fzmod::bench

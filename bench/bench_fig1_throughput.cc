@@ -1,0 +1,52 @@
+// Figure 1 — compression (top) and decompression (bottom) throughput of
+// the GPU-side compressors on each dataset.
+//
+// Paper shape targets (§4.3.2): cuSZp2 fastest both directions; PFPL and
+// FZ-GPU strong decompression; FZMod-Speed close to FZ-GPU but behind it
+// (unfused); FZMod-Quality slowest of the family but competitive with
+// PFPL in compression; FZMod-Default in between. Absolute GB/s are
+// CPU-substrate numbers — the ordering is the reproduced result.
+#include <map>
+
+#include "bench_common.hh"
+
+int main() {
+  using namespace fzmod;
+  const auto names = baselines::gpu_names();
+  const eb_config eb{1e-4, eb_mode::rel};
+  const int nfields = bench::fields_per_dataset();
+  const auto catalog = data::catalog(data::fullscale_requested());
+
+  // name -> per-dataset results, measured once.
+  std::map<std::string, std::vector<bench::run_result>> results;
+  for (const auto& name : names) {
+    auto c = baselines::make(name);
+    for (const auto& ds : catalog) {
+      results[name].push_back(bench::run_on_dataset(*c, ds, eb, nfields));
+    }
+  }
+
+  for (const bool compression : {true, false}) {
+    bench::print_header(compression
+                            ? "Figure 1 (top): compression throughput, "
+                              "GB/s, eb=1e-4 rel"
+                            : "Figure 1 (bottom): decompression "
+                              "throughput, GB/s, eb=1e-4 rel");
+    std::printf("%-14s", "Compressor");
+    for (const auto& ds : catalog) std::printf(" %10s", ds.name.c_str());
+    std::printf("\n");
+    bench::print_rule(60);
+    for (const auto& name : names) {
+      std::printf("%-14s", name.c_str());
+      for (std::size_t d = 0; d < catalog.size(); ++d) {
+        const auto& r = results[name][d];
+        std::printf(" %10.3f", compression ? r.comp_gbps : r.decomp_gbps);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("(SZ3 is excluded, as in the paper; it is CPU-class "
+              "throughput.)\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 2 — overall speedup evaluation on the (simulated) H100 platform.
+//
+// Paper shape targets: the high bandwidth regime favours raw throughput,
+// so cuSZp2 leads most cells; FZMod-Default beats PFPL and FZMod-Quality
+// in the majority of cells (8 of 12 in the paper).
+#include "bench_speedup_common.hh"
+
+int main() {
+  return fzmod::bench::run_speedup_figure(fzmod::bench::h100_model,
+                                          "Figure 2");
+}

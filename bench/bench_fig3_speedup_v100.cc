@@ -1,0 +1,11 @@
+// Figure 3 — overall speedup evaluation on the (simulated) V100 platform.
+//
+// Paper shape targets: the low-bandwidth regime shifts the balance toward
+// compression ratio, so PFPL's high CRs let it beat cuSZp2 in about half
+// the cells.
+#include "bench_speedup_common.hh"
+
+int main() {
+  return fzmod::bench::run_speedup_figure(fzmod::bench::v100_model,
+                                          "Figure 3");
+}

@@ -1,0 +1,41 @@
+// Figure 4 — rate-distortion evaluation: bit rate (bits/value) vs PSNR
+// for all seven compressors on each dataset, swept over error bounds.
+//
+// Paper shape targets (§4.3.3): SZ3 best; PFPL, FZMod-Default and
+// FZMod-Quality cluster next; FZ-GPU, cuSZp2 and FZMod-Speed clearly
+// worse. Each line below is one (bit-rate, PSNR) point of the figure;
+// lower bit rate at equal PSNR (up and to the left) is better.
+#include "bench_common.hh"
+
+int main() {
+  using namespace fzmod;
+  const auto names = baselines::all_names();
+  const f64 bounds[] = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
+  const auto catalog = data::catalog(data::fullscale_requested());
+
+  bench::print_header(
+      "Figure 4: rate-distortion (bit rate [bits/value] vs PSNR [dB])");
+  for (const auto& ds : catalog) {
+    std::printf("\n%s (field 0)\n", ds.name.c_str());
+    bench::print_rule(100);
+    std::printf("%-14s", "Compressor");
+    for (const f64 eb : bounds) std::printf("   eb=%-.0e     ", eb);
+    std::printf("\n");
+    const auto field = data::generate(ds, 0);
+    for (const auto& name : names) {
+      std::printf("%-14s", name.c_str());
+      auto c = baselines::make(name);
+      for (const f64 eb : bounds) {
+        const auto r =
+            bench::run_compressor(*c, field, ds.dims, {eb, eb_mode::rel}, 1);
+        // "inf" PSNR (exact reconstruction) prints as 999.
+        const f64 psnr = std::isfinite(r.err.psnr) ? r.err.psnr : 999.0;
+        std::printf("  %5.2fb/%5.1fdB", r.bit_rate, psnr);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(each cell: bits-per-value / PSNR; a rate-distortion "
+              "curve per compressor, one point per bound)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared driver for the Eq. (1) overall-speedup figures (Figs. 2 and 3).
+//
+// The bandwidth is calibrated to this substrate: BW = ratio * measured
+// cuSZp2 compression throughput, where the ratio matches the paper's
+// BW-to-cuSZp2 proportion on the corresponding GPU (see bench_common.hh
+// and DESIGN.md §1). On the "H100" model throughput dominates (cuSZp2
+// leads); on the low-bandwidth "V100" model compression ratio dominates
+// (PFPL wins about half the cells) — the paper's crossover.
+#pragma once
+
+#include <map>
+
+#include "bench_common.hh"
+
+namespace fzmod::bench {
+
+inline int run_speedup_figure(const bw_model& model, const char* figure) {
+  const auto names = baselines::gpu_names();
+  const f64 bounds[] = {1e-2, 1e-4, 1e-6};
+  const int nfields = fields_per_dataset();
+  const auto catalog = data::catalog(data::fullscale_requested());
+
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "%s: overall speedup (Eq. 1) on %s, BW = %.2f x cuSZp2 "
+                "throughput",
+                figure, model.platform, model.ratio_to_cuszp2);
+  print_header(title);
+
+  for (const auto& ds : catalog) {
+    // Measure all compressors once per (dataset, eb).
+    std::printf("\n%s\n", ds.name.c_str());
+    print_rule(100);
+    std::printf("%-8s", "eb");
+    for (const auto& n : names) std::printf(" %13s", n.c_str());
+    std::printf("\n");
+    for (const f64 eb : bounds) {
+      std::map<std::string, run_result> res;
+      for (const auto& name : names) {
+        auto c = baselines::make(name);
+        res[name] = run_on_dataset(*c, ds, {eb, eb_mode::rel}, nfields);
+      }
+      const f64 bw = model.ratio_to_cuszp2 * res["cuSZp2"].comp_gbps;
+      std::printf("%-8.0e", eb);
+      f64 best = 0;
+      std::string best_name;
+      for (const auto& name : names) {
+        const f64 s =
+            metrics::overall_speedup(bw, res[name].cr, res[name].comp_gbps);
+        if (s > best) {
+          best = s;
+          best_name = name;
+        }
+        std::printf(" %13.2f", s);
+      }
+      std::printf("   <- best: %s\n", best_name.c_str());
+    }
+  }
+  std::printf("\n(speedup > 1: compressing before transfer beats sending "
+              "raw over the modeled link)\n");
+  return 0;
+}
+
+}  // namespace fzmod::bench

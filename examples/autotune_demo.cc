@@ -1,0 +1,52 @@
+// Scenario: let the framework pick the pipeline (paper §5, future work:
+// "an auto-selection mechanism for compression modules based on data
+// characteristics ... and needed quality metrics of the end user").
+//
+// Runs the auto-tuner on all four datasets for each user objective and
+// shows the decision plus the resulting compression metrics.
+#include <cstdio>
+
+#include "fzmod/common/timer.hh"
+#include "fzmod/core/autotune.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/data/datasets.hh"
+#include "fzmod/metrics/metrics.hh"
+
+int main() {
+  using namespace fzmod;
+  const eb_config eb{1e-4, eb_mode::rel};
+
+  for (const auto& ds : data::catalog()) {
+    const auto field = data::generate(ds, 0);
+    std::printf("%s (%zux%zux%zu), rel eb %.0e\n", ds.name.c_str(),
+                ds.dims.x, ds.dims.y, ds.dims.z, eb.eb);
+    std::printf("  sampled: ");
+    {
+      const auto probe = core::autotune(field, ds.dims, eb);
+      std::printf("predictability %.2f, concentration %.2f\n",
+                  probe.predictability, probe.concentration);
+    }
+    std::printf("  %-12s %-10s %-9s %-10s %10s %12s\n", "objective",
+                "predictor", "codec", "secondary", "ratio", "comp GB/s");
+    for (const core::objective goal :
+         {core::objective::balanced, core::objective::throughput,
+          core::objective::ratio, core::objective::quality}) {
+      stopwatch tune_sw;
+      const auto rep = core::autotune(field, ds.dims, eb, goal);
+      core::pipeline<f32> pipe(rep.config);
+      stopwatch sw;
+      const auto archive = pipe.compress(field, ds.dims);
+      const f64 t = sw.seconds();
+      std::printf("  %-12s %-10s %-9s %-10s %9.1fx %12.3f\n",
+                  to_string(goal), rep.config.predictor.c_str(),
+                  rep.config.codec.c_str(),
+                  rep.config.secondary ? "lz" : "-",
+                  metrics::compression_ratio(field.size() * 4,
+                                             archive.size()),
+                  throughput_gbps(field.size() * 4, t));
+      (void)tune_sw;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

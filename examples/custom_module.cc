@@ -1,0 +1,187 @@
+// Scenario: extending FZModules with a user-defined module (paper §3.2:
+// "we designed the library to be simple to adapt and update with future
+// modules").
+//
+// We implement a second-order 1-D extrapolation predictor ("poly2"):
+// q̂[i] = 2q[i-1] - q[i-2] on the pre-quantized lattice. Like the built-in
+// Lorenzo module it is embarrassingly parallel in compression; its inverse
+// is a second-order recurrence. It suits streams with locally linear
+// trends (sensor ramps, time series).
+//
+// The full extension path: derive predictor_module -> register under a
+// name -> reference the name from pipeline_config -> archives record it ->
+// any process that registered it can decompress.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/core/registry.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace {
+
+using namespace fzmod;
+
+class poly2_predictor final : public core::predictor_module<f32> {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "poly2"; }
+
+  void compress(const device::buffer<f32>& data, dims3 dims, f64 ebx2,
+                int radius, predictors::quant_field& out,
+                predictors::interp_anchors& anchors,
+                device::stream& s) override {
+    anchors.lattice.clear();
+    const std::size_t n = dims.len();
+    out.dims = dims;
+    out.radius = radius;
+    out.ebx2 = ebx2;
+    out.codes = device::buffer<u16>(n, device::space::device);
+
+    // Pass 1: pre-quantize (identical contract to the built-ins: values
+    // beyond the safe lattice become exact value outliers).
+    auto q = std::make_shared<device::buffer<i64>>(n, device::space::device);
+    auto side = std::make_shared<std::mutex>();
+    {
+      const f32* in = data.data();
+      i64* qp = q->data();
+      auto* vo = &out.value_outliers;
+      const f64 r_ebx2 = 1.0 / ebx2;
+      device::launch_blocks(
+          s, n, device::runtime::instance().default_block(),
+          [in, qp, vo, side, r_ebx2](std::size_t, std::size_t lo,
+                                     std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const f64 scaled = static_cast<f64>(in[i]) * r_ebx2;
+              if (!(std::fabs(scaled) <
+                    static_cast<f64>(predictors::value_outlier_limit))) {
+                std::lock_guard lk(*side);
+                vo->emplace_back(i, static_cast<f64>(in[i]));
+                qp[i] = 0;
+              } else {
+                qp[i] = std::llrint(scaled);
+              }
+            }
+          });
+    }
+
+    // Pass 2: second-order delta. delta[i] = q[i] - (2q[i-1] - q[i-2]).
+    auto outliers = std::make_shared<std::vector<kernels::outlier>>();
+    {
+      const i64* qp = q->data();
+      u16* codes = out.codes.data();
+      device::launch_blocks(
+          s, n, device::runtime::instance().default_block(),
+          [qp, codes, radius, outliers, side, q](std::size_t,
+                                                 std::size_t lo,
+                                                 std::size_t hi) {
+            std::vector<kernels::outlier> local;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const i64 p1 = i >= 1 ? qp[i - 1] : 0;
+              const i64 p2 = i >= 2 ? qp[i - 2] : 0;
+              const i64 delta = qp[i] - (2 * p1 - p2);
+              const i64 code = delta + radius;
+              if (code > 0 && code < 2 * radius) {
+                codes[i] = static_cast<u16>(code);
+              } else {
+                codes[i] = 0;
+                local.push_back({i, delta});
+              }
+            }
+            if (!local.empty()) {
+              std::lock_guard lk(*side);
+              outliers->insert(outliers->end(), local.begin(), local.end());
+            }
+          });
+    }
+    device::host_task(s, [outliers, &out] {
+      out.n_outliers = outliers->size();
+      out.outliers = device::buffer<kernels::outlier>(outliers->size(),
+                                                      device::space::device);
+      std::copy(outliers->begin(), outliers->end(), out.outliers.data());
+    });
+  }
+
+  void decompress(const predictors::quant_field& field,
+                  const predictors::interp_anchors&,
+                  device::buffer<f32>& outbuf, device::stream& s) override {
+    // The inverse is a sequential second-order recurrence — the price of
+    // higher-order extrapolation, and exactly the kind of asymmetry the
+    // framework lets you weigh against the built-ins.
+    const std::size_t n = field.dims.len();
+    const u16* codes = field.codes.data();
+    const auto* ol = field.outliers.data();
+    const u64 n_ol = field.n_outliers;
+    const int radius = field.radius;
+    const f64 ebx2 = field.ebx2;
+    f32* op = outbuf.data();
+    const auto* vo = &field.value_outliers;
+    device::host_task(s, [=] {
+      std::vector<i64> delta(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (codes[i]) delta[i] = static_cast<i64>(codes[i]) - radius;
+      }
+      for (u64 k = 0; k < n_ol; ++k) {
+        FZMOD_REQUIRE(ol[k].index < n, status::corrupt_archive,
+                      "poly2: outlier index out of range");
+        delta[ol[k].index] = ol[k].value;
+      }
+      i64 p1 = 0, p2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const i64 qi = delta[i] + 2 * p1 - p2;
+        op[i] = static_cast<f32>(static_cast<f64>(qi) * ebx2);
+        p2 = p1;
+        p1 = qi;
+      }
+      for (const auto& [idx, val] : *vo) op[idx] = static_cast<f32>(val);
+    });
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace fzmod;
+
+  // 1. Register the module.
+  core::module_registry<f32>::instance().register_predictor(
+      "poly2", [] { return std::make_unique<poly2_predictor>(); });
+
+  // 2. A signal poly2 should excel at: piecewise-linear ramps + noise.
+  const std::size_t n = 1 << 20;
+  std::vector<f32> v(n);
+  f64 value = 0, slope = 0.01;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 8192 == 0) slope = -slope;
+    value += slope;
+    v[i] = static_cast<f32>(value);
+  }
+
+  // 3. Reference the module by name and compare against Lorenzo.
+  const eb_config eb{1e-6, eb_mode::abs};
+  std::printf("%-10s %10s %12s %14s\n", "predictor", "ratio", "outliers",
+              "max|err|");
+  for (const char* predictor : {"poly2", core::predictor_lorenzo}) {
+    core::pipeline_config cfg;
+    cfg.predictor = predictor;
+    cfg.eb = eb;
+    core::pipeline<f32> pipe(cfg);
+    const auto archive = pipe.compress(v, dims3(n));
+    const auto info = core::inspect_archive(archive);
+    const auto restored = pipe.decompress(archive);
+    const auto err = metrics::compare(v, restored);
+    std::printf("%-10s %9.1fx %12llu %14.3e\n", predictor,
+                metrics::compression_ratio(n * 4, archive.size()),
+                static_cast<unsigned long long>(info.n_outliers),
+                err.max_abs_err);
+    if (err.max_abs_err > metrics::f32_bound_slack(eb.eb, 100.0)) {
+      std::printf("error bound violated!\n");
+      return 1;
+    }
+  }
+  std::printf("\nOn linear ramps the second-order extrapolator predicts "
+              "exactly (all-zero deltas),\nbeating first-order Lorenzo — "
+              "a custom module earning its keep.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scenario: the experimental CUDASTF-style pipeline (paper §3.3.1).
+//
+// Shows the task-graph driver end to end and makes its concurrency
+// visible: during decompression, the Huffman decode (host branch) and the
+// outlier scatter (device branch) share no logical data, so the STF
+// runtime overlaps them — the exact example the paper uses to motivate
+// asynchronous heterogeneous compression.
+#include <cstdio>
+
+#include "fzmod/common/timer.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/core/stf_pipeline.hh"
+#include "fzmod/data/datasets.hh"
+#include "fzmod/device/runtime.hh"
+#include "fzmod/metrics/metrics.hh"
+#include "fzmod/stf/stf.hh"
+
+int main() {
+  using namespace fzmod;
+  const auto ds = data::describe(data::dataset_id::hurr);
+  const auto field = data::generate(ds, 1);
+  const eb_config eb{1e-4, eb_mode::rel};
+
+  std::printf("STF compression graph (FZMod-Default stages as tasks):\n\n");
+  std::printf(
+      "  import(data)\n"
+      "    -> [device] prequant        : data -> lattice q\n"
+      "    -> [device] lorenzo-quantize: q -> codes, outlier flags/deltas\n"
+      "       |-> [device] histogram        \\ independent branches,\n"
+      "       |-> [device] compact-outliers / run concurrently\n"
+      "    -> [host]   huffman-encode  : codes + bins -> blob (D2H "
+      "inserted automatically)\n\n");
+
+  auto& st = device::runtime::instance().stats();
+  st.reset_transfers();
+  stopwatch sw;
+  const auto archive = core::stf_compress(field, ds.dims, eb);
+  const f64 t_comp = sw.seconds();
+  std::printf("compressed %.1f MB -> %.2f MB (%.1fx) in %.0f ms;\n"
+              "runtime ledger: %llu kernels, %.1f MB H2D, %.1f MB D2H\n\n",
+              static_cast<f64>(field.size() * 4) / 1e6,
+              static_cast<f64>(archive.size()) / 1e6,
+              metrics::compression_ratio(field.size() * 4, archive.size()),
+              1e3 * t_comp,
+              static_cast<unsigned long long>(st.kernels_launched.load()),
+              static_cast<f64>(st.h2d_bytes.load()) / 1e6,
+              static_cast<f64>(st.d2h_bytes.load()) / 1e6);
+
+  std::printf("STF decompression graph (the paper's showcase overlap):\n\n");
+  std::printf(
+      "  [host]   huffman-decode   \\ no shared logical data ->\n"
+      "  [device] outlier-scatter  / scheduled concurrently\n"
+      "    -> [device] combine-invert: codes+outliers -> prefix sums -> "
+      "values\n\n");
+
+  sw.reset();
+  const auto restored = core::stf_decompress(archive);
+  const f64 t_decomp = sw.seconds();
+  {
+    // Show the DAG the runtime actually inferred for a tiny graph (the
+    // decompression graph above, re-expressed on a toy datum).
+    stf::context ctx;
+    auto x = ctx.make_data<i32>(4);
+    auto y = ctx.make_data<i32>(4);
+    auto z = ctx.make_data<i32>(4);
+    auto nop = [](device::stream&, device::buffer<i32>& d) {
+      d.fill_zero();
+    };
+    auto join = [](device::stream&, device::buffer<i32>& a,
+                   device::buffer<i32>& b, device::buffer<i32>& out) {
+      (void)a;
+      (void)b;
+      out.fill_zero();
+    };
+    ctx.submit("huffman-decode", stf::place::host, nop, stf::write(x));
+    ctx.submit("outlier-scatter", stf::place::device, nop, stf::write(y));
+    ctx.submit("combine-invert", stf::place::device, join, stf::read(x),
+               stf::read(y), stf::write(z));
+    ctx.finalize();
+    std::printf("inferred DAG (Graphviz):\n%s\n",
+                ctx.dump_graphviz().c_str());
+  }
+  const auto err = metrics::compare(field, restored);
+  std::printf("decompressed in %.0f ms; PSNR %.2f dB; max|err| %.3e "
+              "(bound %.3e)\n",
+              1e3 * t_decomp, err.psnr, err.max_abs_err,
+              eb.eb * err.range);
+
+  const bool ok = err.max_abs_err <=
+                  metrics::f32_bound_slack(eb.eb * err.range, err.range);
+  std::printf("\nerror bound %s; archives are byte-compatible with the "
+              "synchronous driver.\n",
+              ok ? "HONOURED" : "VIOLATED");
+  return ok ? 0 : 1;
+}

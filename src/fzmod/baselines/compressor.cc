@@ -1,0 +1,83 @@
+#include "fzmod/baselines/compressor.hh"
+
+#include "fzmod/common/error.hh"
+#include "fzmod/core/pipeline.hh"
+
+namespace fzmod::baselines {
+namespace {
+
+/// Adapts a core::pipeline preset to the uniform harness interface.
+class fzmod_pipeline_compressor final : public compressor {
+ public:
+  enum class preset { def, speed, quality };
+
+  explicit fzmod_pipeline_compressor(preset p) : preset_(p) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    switch (preset_) {
+      case preset::def: return "FZMod-Default";
+      case preset::speed: return "FZMod-Speed";
+      case preset::quality: return "FZMod-Quality";
+    }
+    return "FZMod";
+  }
+
+  [[nodiscard]] std::vector<u8> compress(std::span<const f32> data,
+                                         dims3 dims, eb_config eb) override {
+    core::pipeline_config cfg;
+    switch (preset_) {
+      case preset::def:
+        cfg = core::pipeline_config::preset_default(eb);
+        break;
+      case preset::speed:
+        cfg = core::pipeline_config::preset_speed(eb);
+        break;
+      case preset::quality:
+        cfg = core::pipeline_config::preset_quality(eb);
+        break;
+    }
+    core::pipeline<f32> p(cfg);
+    return p.compress(data, dims);
+  }
+
+  [[nodiscard]] std::vector<f32> decompress(
+      std::span<const u8> archive) override {
+    core::pipeline<f32> p(core::pipeline_config{});
+    return p.decompress(archive);
+  }
+
+ private:
+  preset preset_;
+};
+
+}  // namespace
+
+std::unique_ptr<compressor> make(const std::string& name) {
+  using preset = fzmod_pipeline_compressor::preset;
+  if (name == "FZMod-Default") {
+    return std::make_unique<fzmod_pipeline_compressor>(preset::def);
+  }
+  if (name == "FZMod-Speed") {
+    return std::make_unique<fzmod_pipeline_compressor>(preset::speed);
+  }
+  if (name == "FZMod-Quality") {
+    return std::make_unique<fzmod_pipeline_compressor>(preset::quality);
+  }
+  if (name == "FZ-GPU") return make_fzgpu();
+  if (name == "cuSZp2") return make_cuszp2();
+  if (name == "PFPL") return make_pfpl();
+  if (name == "SZ3") return make_sz3();
+  throw error(status::unsupported, "unknown compressor: " + name);
+}
+
+std::vector<std::string> all_names() {
+  return {"FZMod-Default", "FZMod-Quality", "FZMod-Speed", "FZ-GPU",
+          "cuSZp2",        "PFPL",          "SZ3"};
+}
+
+std::vector<std::string> gpu_names() {
+  return {"FZMod-Default", "FZMod-Quality", "FZMod-Speed",
+          "FZ-GPU",        "cuSZp2",        "PFPL"};
+}
+
+}  // namespace fzmod::baselines

@@ -1,0 +1,51 @@
+// FZModules — uniform compressor harness interface.
+//
+// The evaluation (paper §4) compares three FZModules pipelines against
+// four state-of-the-art compressors. This interface lets every bench loop
+// over all seven uniformly. Baselines are faithful reimplementations of
+// each competitor's algorithmic core (see DESIGN.md §3); the FZMod-*
+// entries adapt core::pipeline presets.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::baselines {
+
+class compressor {
+ public:
+  virtual ~compressor() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Compress host data under a (usually value-range relative) bound.
+  [[nodiscard]] virtual std::vector<u8> compress(std::span<const f32> data,
+                                                 dims3 dims,
+                                                 eb_config eb) = 0;
+
+  /// Reconstruct; the archive is self-describing.
+  [[nodiscard]] virtual std::vector<f32> decompress(
+      std::span<const u8> archive) = 0;
+};
+
+/// Known names: "FZMod-Default", "FZMod-Speed", "FZMod-Quality",
+/// "FZ-GPU", "cuSZp2", "PFPL", "SZ3".
+[[nodiscard]] std::unique_ptr<compressor> make(const std::string& name);
+
+/// All seven, in the paper's Table 3 column order.
+[[nodiscard]] std::vector<std::string> all_names();
+
+/// The GPU-side six (paper's throughput figures exclude SZ3).
+[[nodiscard]] std::vector<std::string> gpu_names();
+
+// Direct factories (used by module-level tests).
+[[nodiscard]] std::unique_ptr<compressor> make_cuszp2();
+[[nodiscard]] std::unique_ptr<compressor> make_fzgpu();
+[[nodiscard]] std::unique_ptr<compressor> make_pfpl();
+[[nodiscard]] std::unique_ptr<compressor> make_sz3();
+
+}  // namespace fzmod::baselines

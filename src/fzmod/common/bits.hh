@@ -1,0 +1,93 @@
+// FZModules — bit-level helpers shared by the encoders.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod {
+
+/// Number of bits needed to represent `v` (0 -> 0 bits).
+[[nodiscard]] constexpr u32 bit_width_u32(u32 v) {
+  return static_cast<u32>(std::bit_width(v));
+}
+
+/// ZigZag map: interleaves signed values so small magnitudes become small
+/// unsigned values (0,-1,1,-2,2 -> 0,1,2,3,4). Quantization deltas cluster
+/// around zero, so this is the canonical pre-step for bit-plane encoders
+/// (FZ-GPU's bitshuffle, cuSZp2's fix-length packing).
+[[nodiscard]] constexpr u32 zigzag_encode(i32 v) {
+  return (static_cast<u32>(v) << 1) ^ static_cast<u32>(v >> 31);
+}
+
+[[nodiscard]] constexpr i32 zigzag_decode(u32 v) {
+  return static_cast<i32>(v >> 1) ^ -static_cast<i32>(v & 1);
+}
+
+[[nodiscard]] constexpr u64 zigzag_encode64(i64 v) {
+  return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
+}
+
+[[nodiscard]] constexpr i64 zigzag_decode64(u64 v) {
+  return static_cast<i64>(v >> 1) ^ -static_cast<i64>(v & 1);
+}
+
+/// Append `nbits` (<= 57) of `value` to a byte-addressed bit cursor.
+/// The caller guarantees the destination has 8 spare bytes past the cursor
+/// (encoders over-allocate by a tail pad); writes use memcpy so unaligned
+/// stores are well defined.
+class bit_writer {
+ public:
+  explicit bit_writer(u8* dst) : dst_(dst) {}
+
+  void put(u64 value, u32 nbits) {
+    // Merge into the current partial byte via a 64-bit window.
+    u64 window;
+    std::memcpy(&window, dst_ + (bitpos_ >> 3), 8);
+    window |= value << (bitpos_ & 7);
+    std::memcpy(dst_ + (bitpos_ >> 3), &window, 8);
+    bitpos_ += nbits;
+  }
+
+  [[nodiscard]] u64 bits_written() const { return bitpos_; }
+  [[nodiscard]] u64 bytes_written() const { return (bitpos_ + 7) >> 3; }
+
+ private:
+  u8* dst_;
+  u64 bitpos_ = 0;
+};
+
+/// Read `nbits` (<= 57) starting at an arbitrary bit offset. The source
+/// must have 8 readable bytes past the last consumed position (decoders
+/// pad their input copies).
+class bit_reader {
+ public:
+  explicit bit_reader(const u8* src, u64 start_bit = 0)
+      : src_(src), bitpos_(start_bit) {}
+
+  [[nodiscard]] u64 get(u32 nbits) {
+    u64 window;
+    std::memcpy(&window, src_ + (bitpos_ >> 3), 8);
+    window >>= (bitpos_ & 7);
+    bitpos_ += nbits;
+    return nbits >= 64 ? window : window & ((u64{1} << nbits) - 1);
+  }
+
+  /// Peek 32 bits without consuming (canonical Huffman decode path).
+  [[nodiscard]] u64 peek(u32 nbits) const {
+    u64 window;
+    std::memcpy(&window, src_ + (bitpos_ >> 3), 8);
+    window >>= (bitpos_ & 7);
+    return window & ((u64{1} << nbits) - 1);
+  }
+
+  void skip(u32 nbits) { bitpos_ += nbits; }
+  [[nodiscard]] u64 position() const { return bitpos_; }
+
+ private:
+  const u8* src_;
+  u64 bitpos_ = 0;
+};
+
+}  // namespace fzmod

@@ -1,0 +1,52 @@
+// FZModules — status codes and error reporting.
+//
+// The framework throws `fzmod::error` for contract violations (bad header,
+// truncated archive, invalid module wiring). Hot kernels never throw; they
+// validate inputs up front at the stage boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fzmod {
+
+enum class status {
+  ok = 0,
+  invalid_argument,
+  corrupt_archive,
+  unsupported,
+  out_of_range,
+  internal,
+};
+
+[[nodiscard]] inline const char* to_string(status s) {
+  switch (s) {
+    case status::ok: return "ok";
+    case status::invalid_argument: return "invalid_argument";
+    case status::corrupt_archive: return "corrupt_archive";
+    case status::unsupported: return "unsupported";
+    case status::out_of_range: return "out_of_range";
+    case status::internal: return "internal";
+  }
+  return "unknown";
+}
+
+class error : public std::runtime_error {
+ public:
+  error(status s, const std::string& what)
+      : std::runtime_error(std::string(to_string(s)) + ": " + what), st_(s) {}
+
+  [[nodiscard]] status code() const { return st_; }
+
+ private:
+  status st_;
+};
+
+/// Contract check used at stage boundaries. Unlike assert(), it is active
+/// in release builds: compressed archives come from untrusted storage.
+#define FZMOD_REQUIRE(cond, st, msg)                  \
+  do {                                                \
+    if (!(cond)) throw ::fzmod::error((st), (msg));   \
+  } while (0)
+
+}  // namespace fzmod

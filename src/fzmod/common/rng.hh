@@ -1,0 +1,82 @@
+// FZModules — deterministic, seedable PRNG used by dataset generators and
+// property tests. splitmix64 for seeding, xoshiro256** for the stream;
+// both are tiny, fast, and reproducible across platforms (unlike
+// std::mt19937 + distributions, whose outputs differ between libstdc++
+// versions for floating-point distributions).
+#pragma once
+
+#include <cmath>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod {
+
+[[nodiscard]] constexpr u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class rng {
+ public:
+  explicit rng(u64 seed = 0x5eedf00dULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  [[nodiscard]] u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] f64 next_f64() {
+    return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] f64 uniform(f64 lo, f64 hi) {
+    return lo + (hi - lo) * next_f64();
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  [[nodiscard]] f64 normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    f64 u1 = next_f64();
+    f64 u2 = next_f64();
+    // Guard against log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const f64 r = std::sqrt(-2.0 * std::log(u1));
+    const f64 theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] u64 next_below(u64 n) { return n ? next_u64() % n : 0; }
+
+ private:
+  [[nodiscard]] static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 s_[4]{};
+  f64 cached_ = 0;
+  bool have_cached_ = false;
+};
+
+}  // namespace fzmod

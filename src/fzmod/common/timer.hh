@@ -1,0 +1,35 @@
+// FZModules — wall-clock timing helpers used by benches and throughput
+// metrics.
+#pragma once
+
+#include <chrono>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod {
+
+class stopwatch {
+ public:
+  stopwatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] f64 seconds() const {
+    return std::chrono::duration<f64>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] f64 milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Throughput in GB/s for `bytes` processed in `seconds`.
+[[nodiscard]] inline f64 throughput_gbps(u64 bytes, f64 seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<f64>(bytes) / seconds / 1e9;
+}
+
+}  // namespace fzmod

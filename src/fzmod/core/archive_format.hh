@@ -1,0 +1,122 @@
+// FZModules — on-disk archive layout (internal, shared by the synchronous
+// pipeline driver and the experimental STF pipeline so both produce and
+// consume the same format).
+//
+// Layout:
+//   outer_header | body
+// where body is either the inner archive or (outer.secondary == 1) an LZ
+// blob of it, and the inner archive is
+//   inner_header | codec blob | outliers | value outliers | anchors.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "fzmod/common/bits.hh"
+#include "fzmod/common/error.hh"
+#include "fzmod/common/types.hh"
+#include "fzmod/kernels/compact.hh"
+
+namespace fzmod::core::fmt {
+
+inline constexpr u32 outer_magic = 0x465a4d30;  // "FZM0"
+inline constexpr u32 inner_magic = 0x465a4d44;  // "FZMD"
+inline constexpr u16 archive_version = 1;
+
+#pragma pack(push, 1)
+struct outer_header {
+  u32 magic;
+  u8 secondary;  // 1 = body is an LZ blob of the inner archive
+  u8 pad[3];
+};
+
+struct inner_header {
+  u32 magic;
+  u16 version;
+  u8 type;  // dtype
+  u8 mode;  // eb_mode
+  f64 eb_user;
+  f64 ebx2;
+  u64 dims[3];
+  i32 radius;
+  u8 hist;  // histogram_kind (informational)
+  u8 pad[3];
+  char preprocessor[16];
+  char predictor[16];
+  char codec[16];
+  u64 n_outliers;
+  u64 n_value_outliers;
+  u64 n_anchors;
+  u64 anchor_stride;
+  u64 codec_bytes;
+  u64 outlier_bytes;  // packed (varint) size of the outlier section
+};
+#pragma pack(pop)
+
+/// Value outliers serialize as (u64 index, f64 value) pairs.
+#pragma pack(push, 1)
+struct vo_record {
+  u64 index;
+  f64 value;
+};
+#pragma pack(pop)
+
+inline void put_varint(std::vector<u8>& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<u8>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<u8>(v));
+}
+
+inline u64 get_varint(const u8*& p, const u8* end) {
+  u64 v = 0;
+  int shift = 0;
+  for (;;) {
+    FZMOD_REQUIRE(p < end, status::corrupt_archive,
+                  "archive: truncated varint");
+    const u8 b = *p++;
+    v |= static_cast<u64>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+    FZMOD_REQUIRE(shift < 64, status::corrupt_archive,
+                  "archive: varint overflow");
+  }
+}
+
+/// Pack an outlier list compactly: sorted by index, indices delta+varint
+/// coded, values zigzag+varint coded (~3-5 bytes per outlier instead of
+/// the in-memory 16). At tight bounds on hard data the outlier section
+/// dominates the archive, so this matters for Table 3's 1e-6 rows.
+inline std::vector<u8> pack_outliers(
+    std::vector<kernels::outlier> outliers) {
+  std::sort(outliers.begin(), outliers.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+  std::vector<u8> out;
+  out.reserve(outliers.size() * 4);
+  u64 prev = 0;
+  for (const auto& o : outliers) {
+    put_varint(out, o.index - prev);
+    prev = o.index;
+    put_varint(out, zigzag_encode64(o.value));
+  }
+  return out;
+}
+
+inline std::vector<kernels::outlier> unpack_outliers(
+    std::span<const u8> bytes, u64 count) {
+  std::vector<kernels::outlier> out;
+  out.reserve(count);
+  const u8* p = bytes.data();
+  const u8* end = p + bytes.size();
+  u64 prev = 0;
+  for (u64 k = 0; k < count; ++k) {
+    prev += get_varint(p, end);
+    const i64 value = zigzag_decode64(get_varint(p, end));
+    out.push_back({prev, value});
+  }
+  return out;
+}
+
+}  // namespace fzmod::core::fmt

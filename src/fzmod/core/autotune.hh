@@ -1,0 +1,55 @@
+// FZModules — pipeline auto-selection (the paper's future-work item (3):
+// "an auto-selection mechanism for compression modules based on data
+// characteristics, intended hardware environment, and needed quality
+// metrics of the end user").
+//
+// The tuner samples a sparse, stratified subset of the field, quantizes
+// it at the requested bound, and estimates two cheap statistics:
+//
+//  - predictability: the fraction of sampled neighbour deltas that fall
+//    inside the quantizer radius (would Lorenzo-class prediction work at
+//    this bound at all?);
+//  - concentration: the share of quantized deltas that are exactly zero
+//    (is the code distribution dominated by a few symbols — the regime
+//    where the top-k histogram and zero-eliminating codecs shine?).
+//
+// Together with the user's objective (throughput / ratio / quality /
+// balanced) these pick the stage modules. The sample pass costs ~1% of a
+// compression pass, so the tuner can run per snapshot.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fzmod/core/config.hh"
+
+namespace fzmod::core {
+
+/// What the user optimizes for (the "needed quality metrics" axis).
+enum class objective : u8 { balanced, throughput, ratio, quality };
+
+[[nodiscard]] inline const char* to_string(objective o) {
+  switch (o) {
+    case objective::balanced: return "balanced";
+    case objective::throughput: return "throughput";
+    case objective::ratio: return "ratio";
+    case objective::quality: return "quality";
+  }
+  return "?";
+}
+
+struct autotune_report {
+  pipeline_config config;   // the chosen pipeline
+  f64 predictability = 0;   // fraction of sampled deltas within radius
+  f64 concentration = 0;    // fraction of sampled deltas quantizing to 0
+  f64 sampled_range = 0;    // min..max seen in the sample
+  std::string rationale;    // human-readable decision trace
+};
+
+/// Sample `data` and choose a pipeline configuration for the bound and
+/// objective. Deterministic (strided sampling).
+[[nodiscard]] autotune_report autotune(std::span<const f32> data,
+                                       dims3 dims, eb_config eb,
+                                       objective goal = objective::balanced);
+
+}  // namespace fzmod::core

@@ -1,0 +1,345 @@
+#include "fzmod/core/pipeline.hh"
+
+#include <cstring>
+
+#include "fzmod/common/timer.hh"
+#include "fzmod/core/archive_format.hh"
+#include "fzmod/lossless/lz.hh"
+
+namespace fzmod::core {
+namespace {
+
+using fmt::archive_version;
+using fmt::inner_header;
+using fmt::inner_magic;
+using fmt::outer_header;
+using fmt::outer_magic;
+using vo_record = fmt::vo_record;
+
+void put_name(char (&dst)[16], std::string_view name) {
+  FZMOD_REQUIRE(name.size() < 16, status::invalid_argument,
+                "module name too long for archive header (15 chars max)");
+  std::memset(dst, 0, sizeof(dst));
+  std::memcpy(dst, name.data(), name.size());
+}
+
+[[nodiscard]] std::string get_name(const char (&src)[16]) {
+  return std::string(src, strnlen(src, sizeof(src)));
+}
+
+template <class T>
+[[nodiscard]] dtype dtype_of();
+template <>
+dtype dtype_of<f32>() {
+  return dtype::f32;
+}
+template <>
+dtype dtype_of<f64>() {
+  return dtype::f64;
+}
+
+}  // namespace
+
+archive_info inspect_archive(std::span<const u8> archive) {
+  FZMOD_REQUIRE(archive.size() >= sizeof(outer_header),
+                status::corrupt_archive, "archive too small");
+  outer_header outer;
+  std::memcpy(&outer, archive.data(), sizeof(outer));
+  FZMOD_REQUIRE(outer.magic == outer_magic, status::corrupt_archive,
+                "bad archive magic");
+  std::vector<u8> body_storage;
+  std::span<const u8> body = archive.subspan(sizeof(outer));
+  if (outer.secondary) {
+    body_storage = lossless::decompress(body);
+    body = body_storage;
+  }
+  FZMOD_REQUIRE(body.size() >= sizeof(inner_header), status::corrupt_archive,
+                "archive body truncated");
+  inner_header hdr;
+  std::memcpy(&hdr, body.data(), sizeof(hdr));
+  FZMOD_REQUIRE(hdr.magic == inner_magic && hdr.version == archive_version,
+                status::corrupt_archive, "bad inner header");
+  archive_info info;
+  info.dims = {hdr.dims[0], hdr.dims[1], hdr.dims[2]};
+  FZMOD_REQUIRE(!info.dims.len_invalid(), status::corrupt_archive,
+                "archive dims out of supported range");
+  FZMOD_REQUIRE(info.dims.len() / 8192 <= body.size(),
+                status::corrupt_archive,
+                "archive too small for its declared dims");
+  info.type = static_cast<dtype>(hdr.type);
+  info.eb_user = hdr.eb_user;
+  info.mode = static_cast<eb_mode>(hdr.mode);
+  info.ebx2 = hdr.ebx2;
+  info.radius = hdr.radius;
+  info.preprocessor = get_name(hdr.preprocessor);
+  info.predictor = get_name(hdr.predictor);
+  info.codec = get_name(hdr.codec);
+  info.secondary = outer.secondary != 0;
+  info.n_outliers = hdr.n_outliers;
+  info.n_value_outliers = hdr.n_value_outliers;
+  return info;
+}
+
+template <class T>
+pipeline<T>::pipeline(pipeline_config cfg) : cfg_(std::move(cfg)) {
+  auto& reg = module_registry<T>::instance();
+  preprocessor_ = reg.make_preprocessor(cfg_.preprocessor);
+  predictor_ = reg.make_predictor(cfg_.predictor);
+  codec_ = reg.make_codec(cfg_.codec);
+  FZMOD_REQUIRE(cfg_.radius > 1 && cfg_.radius <= 16384,
+                status::invalid_argument,
+                "quantizer radius out of supported range (2..16384)");
+}
+
+template <class T>
+pipeline<T>::~pipeline() = default;
+
+template <class T>
+std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
+                                      dims3 dims, device::stream& s) {
+  FZMOD_REQUIRE(data.size() == dims.len(), status::invalid_argument,
+                "pipeline: data size does not match dims");
+  stopwatch sw;
+
+  // Stage 1: preprocess — optional value transform, then bound
+  // resolution (against the transformed values, where the bound applies).
+  device::buffer<T> transformed;
+  const device::buffer<T>* src = &data;
+  if (preprocessor_->transforms()) {
+    transformed = device::buffer<T>(data.size(), device::space::device);
+    preprocessor_->forward(data, transformed, s);
+    src = &transformed;
+  }
+  const f64 ebx2 = preprocessor_->resolve_ebx2(*src, cfg_.eb, s);
+  compress_timings_.preprocess = sw.seconds();
+
+  // Stage 2: predict + quantize.
+  sw.reset();
+  predictors::quant_field field;
+  predictors::interp_anchors anchors;
+  predictor_->compress(*src, dims, ebx2, cfg_.radius, field, anchors, s);
+  s.sync();
+  compress_timings_.predict = sw.seconds();
+
+  // Stage 3: primary lossless codec.
+  sw.reset();
+  std::vector<u8> codec_blob =
+      codec_->encode(field.codes, cfg_.radius, cfg_, s);
+  compress_timings_.encode = sw.seconds();
+
+  // Serialize: header | codec blob | outliers | value outliers | anchors.
+  inner_header hdr{};
+  hdr.magic = inner_magic;
+  hdr.version = archive_version;
+  hdr.type = static_cast<u8>(dtype_of<T>());
+  hdr.mode = static_cast<u8>(cfg_.eb.mode);
+  hdr.eb_user = cfg_.eb.eb;
+  hdr.ebx2 = ebx2;
+  hdr.dims[0] = dims.x;
+  hdr.dims[1] = dims.y;
+  hdr.dims[2] = dims.z;
+  hdr.radius = cfg_.radius;
+  hdr.hist = static_cast<u8>(cfg_.histogram);
+  put_name(hdr.preprocessor, preprocessor_->name());
+  put_name(hdr.predictor, predictor_->name());
+  put_name(hdr.codec, codec_->name());
+  hdr.n_outliers = field.n_outliers;
+  hdr.n_value_outliers = field.value_outliers.size();
+  hdr.n_anchors = anchors.lattice.size();
+  hdr.anchor_stride = anchors.stride;
+  hdr.codec_bytes = codec_blob.size();
+
+  // Outliers cross D2H raw, then pack to the varint wire format.
+  std::vector<kernels::outlier> outlier_list(field.n_outliers);
+  if (field.n_outliers) {
+    device::memcpy_async(outlier_list.data(), field.outliers.data(),
+                         field.n_outliers * sizeof(kernels::outlier),
+                         device::copy_kind::d2h, s);
+    s.sync();
+  }
+  const std::vector<u8> packed_outliers =
+      fmt::pack_outliers(std::move(outlier_list));
+  hdr.outlier_bytes = packed_outliers.size();
+
+  // Value outliers are collected from concurrent kernels in scheduling
+  // order; sort so archives are byte-deterministic.
+  std::sort(field.value_outliers.begin(), field.value_outliers.end());
+
+  const u64 vo_bytes = hdr.n_value_outliers * sizeof(vo_record);
+  const u64 anchor_bytes = hdr.n_anchors * sizeof(i32);
+  std::vector<u8> inner(sizeof(hdr) + codec_blob.size() +
+                        packed_outliers.size() + vo_bytes + anchor_bytes);
+  u8* p = inner.data();
+  std::memcpy(p, &hdr, sizeof(hdr));
+  p += sizeof(hdr);
+  std::memcpy(p, codec_blob.data(), codec_blob.size());
+  p += codec_blob.size();
+  std::memcpy(p, packed_outliers.data(), packed_outliers.size());
+  p += packed_outliers.size();
+  for (const auto& [idx, val] : field.value_outliers) {
+    const vo_record r{idx, val};
+    std::memcpy(p, &r, sizeof(r));
+    p += sizeof(r);
+  }
+  if (anchor_bytes) {
+    std::memcpy(p, anchors.lattice.data(), anchor_bytes);
+    p += anchor_bytes;
+  }
+
+  // Stage 4: optional secondary lossless encoder over the whole body.
+  sw.reset();
+  outer_header outer{outer_magic, static_cast<u8>(cfg_.secondary ? 1 : 0),
+                     {}};
+  std::vector<u8> archive;
+  if (cfg_.secondary) {
+    std::vector<u8> packed = lossless::compress(inner);
+    archive.resize(sizeof(outer) + packed.size());
+    std::memcpy(archive.data(), &outer, sizeof(outer));
+    std::memcpy(archive.data() + sizeof(outer), packed.data(),
+                packed.size());
+  } else {
+    archive.resize(sizeof(outer) + inner.size());
+    std::memcpy(archive.data(), &outer, sizeof(outer));
+    std::memcpy(archive.data() + sizeof(outer), inner.data(), inner.size());
+  }
+  compress_timings_.secondary = sw.seconds();
+  return archive;
+}
+
+template <class T>
+std::vector<u8> pipeline<T>::compress(std::span<const T> host_data,
+                                      dims3 dims) {
+  device::stream s;
+  device::buffer<T> dev(host_data.size(), device::space::device);
+  device::memcpy_async(dev.data(), host_data.data(), host_data.size_bytes(),
+                       device::copy_kind::h2d, s);
+  return compress(dev, dims, s);
+}
+
+template <class T>
+void pipeline<T>::decompress(std::span<const u8> archive,
+                             device::buffer<T>& out, device::stream& s) {
+  FZMOD_REQUIRE(archive.size() >= sizeof(outer_header),
+                status::corrupt_archive, "archive too small");
+  stopwatch sw;
+  outer_header outer;
+  std::memcpy(&outer, archive.data(), sizeof(outer));
+  FZMOD_REQUIRE(outer.magic == outer_magic, status::corrupt_archive,
+                "bad archive magic");
+  std::vector<u8> body_storage;
+  std::span<const u8> body = archive.subspan(sizeof(outer));
+  if (outer.secondary) {
+    body_storage = lossless::decompress(body);
+    body = body_storage;
+  }
+  decompress_timings_.secondary = sw.seconds();
+
+  FZMOD_REQUIRE(body.size() >= sizeof(inner_header), status::corrupt_archive,
+                "archive body truncated");
+  inner_header hdr;
+  std::memcpy(&hdr, body.data(), sizeof(hdr));
+  FZMOD_REQUIRE(hdr.magic == inner_magic && hdr.version == archive_version,
+                status::corrupt_archive, "bad inner header");
+  FZMOD_REQUIRE(hdr.type == static_cast<u8>(dtype_of<T>()),
+                status::invalid_argument,
+                "archive dtype does not match pipeline element type");
+  const dims3 dims{hdr.dims[0], hdr.dims[1], hdr.dims[2]};
+  FZMOD_REQUIRE(!dims.len_invalid(), status::corrupt_archive,
+                "archive dims out of supported range");
+  FZMOD_REQUIRE(out.size() == dims.len(), status::invalid_argument,
+                "pipeline: output size does not match archive dims");
+  // Resource guards before any header-sized allocation: no codec packs
+  // more than ~8192 values per byte (the Huffman chunk-offset table is
+  // the loosest floor), and each packed outlier costs >= 2 bytes.
+  FZMOD_REQUIRE(dims.len() / 8192 <= body.size(), status::corrupt_archive,
+                "archive too small for its declared dims");
+  FZMOD_REQUIRE(hdr.codec_bytes <= body.size() &&
+                    hdr.outlier_bytes <= body.size(),
+                status::corrupt_archive, "archive section size overflow");
+  FZMOD_REQUIRE(hdr.n_outliers <= hdr.outlier_bytes / 2 + 1,
+                status::corrupt_archive, "outlier count implausible");
+  FZMOD_REQUIRE(hdr.n_value_outliers <= body.size() / sizeof(vo_record),
+                status::corrupt_archive, "value outlier count implausible");
+  FZMOD_REQUIRE(hdr.n_anchors <= body.size() / sizeof(i32),
+                status::corrupt_archive, "anchor count implausible");
+
+  const u64 vo_bytes = hdr.n_value_outliers * sizeof(vo_record);
+  const u64 anchor_bytes = hdr.n_anchors * sizeof(i32);
+  FZMOD_REQUIRE(body.size() >= sizeof(hdr) + hdr.codec_bytes +
+                                   hdr.outlier_bytes + vo_bytes +
+                                   anchor_bytes,
+                status::corrupt_archive, "archive payload truncated");
+
+  // Resolve the modules the archive names (may be custom, user-registered).
+  auto& reg = module_registry<T>::instance();
+  auto preprocessor = reg.make_preprocessor(get_name(hdr.preprocessor));
+  auto predictor = reg.make_predictor(get_name(hdr.predictor));
+  auto codec = reg.make_codec(get_name(hdr.codec));
+
+  // Rebuild the quant_field IR.
+  sw.reset();
+  predictors::quant_field field;
+  field.dims = dims;
+  field.radius = hdr.radius;
+  field.ebx2 = hdr.ebx2;
+  field.codes = device::buffer<u16>(dims.len(), device::space::device);
+  const u8* p = body.data() + sizeof(hdr);
+  codec->decode({p, hdr.codec_bytes}, hdr.radius, field.codes, s);
+  p += hdr.codec_bytes;
+  decompress_timings_.encode = sw.seconds();
+
+  sw.reset();
+  field.n_outliers = hdr.n_outliers;
+  field.outliers = device::buffer<kernels::outlier>(hdr.n_outliers,
+                                                    device::space::device);
+  if (hdr.n_outliers) {
+    const auto unpacked =
+        fmt::unpack_outliers({p, hdr.outlier_bytes}, hdr.n_outliers);
+    device::memcpy_async(field.outliers.data(), unpacked.data(),
+                         hdr.n_outliers * sizeof(kernels::outlier),
+                         device::copy_kind::h2d, s);
+    s.sync();
+  }
+  p += hdr.outlier_bytes;
+  field.value_outliers.resize(hdr.n_value_outliers);
+  for (auto& [idx, val] : field.value_outliers) {
+    vo_record r;
+    std::memcpy(&r, p, sizeof(r));
+    idx = r.index;
+    val = r.value;
+    p += sizeof(r);
+  }
+  predictors::interp_anchors anchors;
+  anchors.stride = hdr.anchor_stride;
+  anchors.lattice.resize(hdr.n_anchors);
+  if (anchor_bytes) std::memcpy(anchors.lattice.data(), p, anchor_bytes);
+
+  // Stage 2 inverse: reconstruct, then stage 1 inverse (value transform).
+  predictor->decompress(field, anchors, out, s);
+  s.sync();
+  decompress_timings_.predict = sw.seconds();
+  sw.reset();
+  if (preprocessor->transforms()) {
+    preprocessor->inverse(out, s);
+    s.sync();
+  }
+  decompress_timings_.preprocess = sw.seconds();
+}
+
+template <class T>
+std::vector<T> pipeline<T>::decompress(std::span<const u8> archive) {
+  const archive_info info = inspect_archive(archive);
+  device::stream s;
+  device::buffer<T> dev(info.dims.len(), device::space::device);
+  decompress(archive, dev, s);
+  std::vector<T> host(info.dims.len());
+  device::memcpy_async(host.data(), dev.data(), dev.bytes(),
+                       device::copy_kind::d2h, s);
+  s.sync();
+  return host;
+}
+
+template class pipeline<f32>;
+template class pipeline<f64>;
+
+}  // namespace fzmod::core

@@ -1,0 +1,92 @@
+// FZModules — pipeline composer: assembles stage modules per a
+// pipeline_config and drives end-to-end error-bounded compression and
+// decompression, producing/consuming self-contained archives.
+//
+// The archive records module names, dims, dtype and quantizer settings, so
+// any process that has the named modules registered can decompress it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fzmod/core/config.hh"
+#include "fzmod/core/registry.hh"
+
+namespace fzmod::core {
+
+/// Per-stage wall-clock timings of the last compress()/decompress() call,
+/// in seconds. Benches read these to attribute time (Fig. 1 ablations).
+struct stage_timings {
+  f64 preprocess = 0;
+  f64 predict = 0;
+  f64 encode = 0;
+  f64 secondary = 0;
+  [[nodiscard]] f64 total() const {
+    return preprocess + predict + encode + secondary;
+  }
+};
+
+/// Archive introspection without full decode.
+struct archive_info {
+  dims3 dims;
+  dtype type = dtype::f32;
+  f64 eb_user = 0;
+  eb_mode mode = eb_mode::rel;
+  f64 ebx2 = 0;
+  int radius = 0;
+  std::string preprocessor;
+  std::string predictor;
+  std::string codec;
+  bool secondary = false;
+  u64 n_outliers = 0;
+  u64 n_value_outliers = 0;
+};
+
+[[nodiscard]] archive_info inspect_archive(std::span<const u8> archive);
+
+template <class T>
+class pipeline {
+ public:
+  /// Resolve the config's module names through the registry; throws
+  /// status::unsupported on an unknown name.
+  explicit pipeline(pipeline_config cfg);
+
+  pipeline(pipeline&&) noexcept = default;
+  pipeline& operator=(pipeline&&) noexcept = default;
+  ~pipeline();
+
+  /// Compress a device-resident field. Synchronous (drives `s` internally);
+  /// returns the self-contained archive in host memory.
+  [[nodiscard]] std::vector<u8> compress(const device::buffer<T>& data,
+                                         dims3 dims, device::stream& s);
+
+  /// Convenience: host data in, archive out (pays the H2D transfer, which
+  /// is part of the end-to-end cost the paper measures).
+  [[nodiscard]] std::vector<u8> compress(std::span<const T> host_data,
+                                         dims3 dims);
+
+  /// Decompress into a presized device buffer.
+  void decompress(std::span<const u8> archive, device::buffer<T>& out,
+                  device::stream& s);
+
+  /// Convenience: archive in, host vector out.
+  [[nodiscard]] std::vector<T> decompress(std::span<const u8> archive);
+
+  [[nodiscard]] const pipeline_config& config() const { return cfg_; }
+  [[nodiscard]] const stage_timings& last_compress_timings() const {
+    return compress_timings_;
+  }
+  [[nodiscard]] const stage_timings& last_decompress_timings() const {
+    return decompress_timings_;
+  }
+
+ private:
+  pipeline_config cfg_;
+  std::unique_ptr<preprocessor_module<T>> preprocessor_;
+  std::unique_ptr<predictor_module<T>> predictor_;
+  std::unique_ptr<codec_module> codec_;
+  stage_timings compress_timings_;
+  stage_timings decompress_timings_;
+};
+
+}  // namespace fzmod::core

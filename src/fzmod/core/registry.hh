@@ -1,0 +1,92 @@
+// FZModules — module registry.
+//
+// Maps stage-module names to factories. Built-ins self-register on first
+// use; user code registers custom modules at startup and references them
+// from pipeline_config by name. Archives store names, so a process that
+// registered the same modules can decompress any archive it can name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fzmod/common/error.hh"
+#include "fzmod/core/module.hh"
+
+namespace fzmod::core {
+
+template <class T>
+class module_registry {
+ public:
+  using preprocessor_factory =
+      std::function<std::unique_ptr<preprocessor_module<T>>()>;
+  using predictor_factory =
+      std::function<std::unique_ptr<predictor_module<T>>()>;
+  using codec_factory = std::function<std::unique_ptr<codec_module>()>;
+
+  static module_registry& instance();
+
+  void register_preprocessor(const std::string& name,
+                             preprocessor_factory f) {
+    std::lock_guard lk(mu_);
+    preprocessors_[name] = std::move(f);
+  }
+  void register_predictor(const std::string& name, predictor_factory f) {
+    std::lock_guard lk(mu_);
+    predictors_[name] = std::move(f);
+  }
+  void register_codec(const std::string& name, codec_factory f) {
+    std::lock_guard lk(mu_);
+    codecs_[name] = std::move(f);
+  }
+
+  [[nodiscard]] std::unique_ptr<preprocessor_module<T>> make_preprocessor(
+      const std::string& name) {
+    std::lock_guard lk(mu_);
+    auto it = preprocessors_.find(name);
+    FZMOD_REQUIRE(it != preprocessors_.end(), status::unsupported,
+                  "unknown preprocessor module: " + name);
+    return it->second();
+  }
+  [[nodiscard]] std::unique_ptr<predictor_module<T>> make_predictor(
+      const std::string& name) {
+    std::lock_guard lk(mu_);
+    auto it = predictors_.find(name);
+    FZMOD_REQUIRE(it != predictors_.end(), status::unsupported,
+                  "unknown predictor module: " + name);
+    return it->second();
+  }
+  [[nodiscard]] std::unique_ptr<codec_module> make_codec(
+      const std::string& name) {
+    std::lock_guard lk(mu_);
+    auto it = codecs_.find(name);
+    FZMOD_REQUIRE(it != codecs_.end(), status::unsupported,
+                  "unknown codec module: " + name);
+    return it->second();
+  }
+
+  [[nodiscard]] std::vector<std::string> predictor_names() {
+    std::lock_guard lk(mu_);
+    std::vector<std::string> names;
+    for (const auto& [k, v] : predictors_) names.push_back(k);
+    return names;
+  }
+  [[nodiscard]] std::vector<std::string> codec_names() {
+    std::lock_guard lk(mu_);
+    std::vector<std::string> names;
+    for (const auto& [k, v] : codecs_) names.push_back(k);
+    return names;
+  }
+
+ private:
+  module_registry() = default;
+  std::mutex mu_;
+  std::map<std::string, preprocessor_factory> preprocessors_;
+  std::map<std::string, predictor_factory> predictors_;
+  std::map<std::string, codec_factory> codecs_;
+};
+
+}  // namespace fzmod::core

@@ -1,0 +1,79 @@
+// FZModules — multi-field snapshot container.
+//
+// Simulations dump snapshots of many named fields at once (CESM-ATM: 33
+// fields; HACC: 6). This container bundles one compressed archive per
+// field behind a table of contents, so a snapshot is a single blob/file
+// with random access per field. Each field may use its own pipeline
+// configuration — the per-variable tailoring the framework exists for.
+//
+// Format: [magic|count] + TOC (name, dims, dtype, archive extent) +
+// concatenated standard archives. Archives are the self-describing
+// pipeline format, so a reader needs no configuration.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fzmod/core/pipeline.hh"
+
+namespace fzmod::core {
+
+struct snapshot_entry {
+  std::string name;
+  dims3 dims;
+  dtype type = dtype::f32;
+  u64 offset = 0;  // into the snapshot blob
+  u64 bytes = 0;   // archive size
+};
+
+/// Incrementally compress fields into a snapshot blob.
+class snapshot_writer {
+ public:
+  /// `defaults` is the pipeline used for fields added without an override.
+  explicit snapshot_writer(pipeline_config defaults = {});
+
+  /// Compress and append a named f32 field. Field names must be unique
+  /// and at most 255 bytes.
+  void add(std::string_view name, std::span<const f32> data, dims3 dims,
+           std::optional<pipeline_config> override = std::nullopt);
+
+  [[nodiscard]] std::size_t field_count() const { return entries_.size(); }
+
+  /// Serialize TOC + archives. The writer can keep adding afterwards
+  /// (finish is non-destructive).
+  [[nodiscard]] std::vector<u8> finish() const;
+
+ private:
+  pipeline_config defaults_;
+  std::vector<snapshot_entry> entries_;
+  std::vector<std::vector<u8>> archives_;
+};
+
+/// Random-access reader over a snapshot blob (borrowed; the blob must
+/// outlive the reader).
+class snapshot_reader {
+ public:
+  explicit snapshot_reader(std::span<const u8> blob);
+
+  [[nodiscard]] const std::vector<snapshot_entry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Decompress one field by name. Throws status::invalid_argument for
+  /// unknown names.
+  [[nodiscard]] std::vector<f32> read(std::string_view name) const;
+
+  /// The raw archive bytes of one field (for re-packing or inspection).
+  [[nodiscard]] std::span<const u8> archive(std::string_view name) const;
+
+ private:
+  const snapshot_entry& find(std::string_view name) const;
+  std::span<const u8> blob_;
+  std::vector<snapshot_entry> entries_;
+};
+
+}  // namespace fzmod::core

@@ -1,0 +1,38 @@
+// FZModules — experimental CUDASTF-style pipeline (paper §3.3.1).
+//
+// Re-expresses the FZMod-Default pipeline as a task graph over the
+// fzmod::stf library: tasks declare data dependencies, the runtime derives
+// the DAG, schedules independent branches concurrently, and moves data
+// between host and device automatically.
+//
+// The concurrency the paper highlights:
+//  - compression: the GPU histogram feeding Huffman and the outlier
+//    compaction share no data dependency, so they overlap; the CPU Huffman
+//    encode overlaps the device-side outlier packaging.
+//  - decompression: "one task scattering the outliers to the reconstructed
+//    output data from the compressed data, and another task can
+//    simultaneously decompress the Huffman encoded data" — exactly the two
+//    branches of the graph here.
+//
+// Archives are byte-compatible with the synchronous pipeline (predictor
+// "lorenzo", codec "huffman"), so the two drivers interoperate. Like the
+// paper, this is a programmability demonstration, not the performance
+// path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::core {
+
+/// Compress with the STF task-graph driver (FZMod-Default stages).
+[[nodiscard]] std::vector<u8> stf_compress(std::span<const f32> data,
+                                           dims3 dims, eb_config eb,
+                                           int radius = 512);
+
+/// Decompress a lorenzo+huffman archive with the STF task-graph driver.
+[[nodiscard]] std::vector<f32> stf_decompress(std::span<const u8> archive);
+
+}  // namespace fzmod::core

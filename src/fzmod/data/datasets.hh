@@ -1,0 +1,57 @@
+// FZModules — synthetic SDRBench-like dataset generators.
+//
+// The paper evaluates on four SDRBench datasets (Table 2). The real files
+// are not available offline, so this module synthesizes fields with the
+// same dimensionality and the statistical character that drives compressor
+// behaviour (see DESIGN.md §1 for the substitution argument):
+//
+//  - CESM-ATM  (climate, 3600x1800x26): smooth multi-scale lat-lon fields
+//    with a latitudinal trend — very compressible at loose bounds.
+//  - HACC      (cosmology particles, 1-D): unsorted clustered particle
+//    coordinates/velocities — nearly unpredictable pointwise, the hardest
+//    dataset in Table 3.
+//  - HURR      (hurricane, 500x500x100): a translating vortex plus
+//    multi-octave turbulence — moderately smooth.
+//  - Nyx       (cosmology grid, 512^3): log-normal density field with
+//    multi-scale structure and huge dynamic range — extreme CRs at loose
+//    relative bounds, exactly the regime of the paper's Nyx column.
+//
+// All generators are deterministic in (dataset, field index, dims) and
+// parallelized over the worker pool. `FZMOD_FULLSCALE=1` switches the
+// catalog from bench-friendly scaled dims to the paper's dims.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::data {
+
+enum class dataset_id : u8 { cesm, hacc, hurr, nyx };
+
+struct dataset_desc {
+  dataset_id id;
+  std::string name;     // "CESM-ATM", ...
+  dims3 dims;           // per-field dims actually generated
+  dims3 paper_dims;     // dims reported in the paper's Table 2
+  int n_fields;         // fields available from the generator
+  int paper_n_fields;   // field count in the paper's Table 2
+  std::string kind;     // "climate simulation", ...
+};
+
+/// The four-dataset catalog. Scaled-down dims by default (single-core
+/// machine); paper dims when `fullscale`.
+[[nodiscard]] std::vector<dataset_desc> catalog(bool fullscale = false);
+
+/// Whether FZMOD_FULLSCALE=1 is set in the environment.
+[[nodiscard]] bool fullscale_requested();
+
+/// Generate field `field_idx` (0-based, < n_fields) of a dataset.
+[[nodiscard]] std::vector<f32> generate(const dataset_desc& ds,
+                                        int field_idx);
+
+/// Convenience: look up a dataset by id in the default catalog.
+[[nodiscard]] dataset_desc describe(dataset_id id, bool fullscale = false);
+
+}  // namespace fzmod::data

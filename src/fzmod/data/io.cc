@@ -1,0 +1,51 @@
+#include "fzmod/data/io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <span>
+
+#include "fzmod/common/error.hh"
+
+namespace fzmod::data {
+
+std::vector<u8> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  FZMOD_REQUIRE(f.good(), status::invalid_argument,
+                "cannot open file: " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<u8> bytes(size);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(size));
+  FZMOD_REQUIRE(f.good() || f.eof(), status::invalid_argument,
+                "short read: " + path);
+  return bytes;
+}
+
+void write_file(const std::string& path, std::span<const u8> bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  FZMOD_REQUIRE(f.good(), status::invalid_argument,
+                "cannot create file: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  FZMOD_REQUIRE(f.good(), status::invalid_argument,
+                "short write: " + path);
+}
+
+std::vector<f32> load_f32_field(const std::string& path, dims3 dims) {
+  const std::vector<u8> bytes = read_file(path);
+  FZMOD_REQUIRE(bytes.size() == dims.len() * sizeof(f32),
+                status::invalid_argument,
+                "field size mismatch for " + path);
+  std::vector<f32> values(dims.len());
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+void store_f32_field(const std::string& path, std::span<const f32> values) {
+  write_file(path,
+             {reinterpret_cast<const u8*>(values.data()),
+              values.size() * sizeof(f32)});
+}
+
+}  // namespace fzmod::data

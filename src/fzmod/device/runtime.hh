@@ -1,0 +1,351 @@
+// FZModules — software device runtime (the CUDA substitute).
+//
+// This reproduction runs on machines without GPUs, so the heterogeneous
+// substrate the paper builds on is simulated: there is a distinct "device"
+// memory space with its own allocator and accounting, asynchronous streams
+// that order work the way CUDA streams do, events for cross-stream
+// synchronization, and a data-parallel kernel launcher that decomposes an
+// index space over the worker pool the way a grid of thread blocks is
+// decomposed over SMs.
+//
+// The discipline is enforced dynamically: host code must not dereference
+// device buffers (and vice versa); transfers between the spaces are
+// explicit, byte-copying, stream-ordered operations whose volume is
+// tracked, so pipelines pay — and benches can report — real movement costs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "fzmod/common/error.hh"
+#include "fzmod/common/types.hh"
+#include "fzmod/device/thread_pool.hh"
+
+namespace fzmod::device {
+
+enum class space : u8 { host, device };
+
+[[nodiscard]] inline const char* to_string(space s) {
+  return s == space::host ? "host" : "device";
+}
+
+enum class copy_kind : u8 { h2h, h2d, d2h, d2d };
+
+/// Cumulative transfer/launch counters, readable by benches and tests.
+struct runtime_stats {
+  std::atomic<u64> h2d_bytes{0};
+  std::atomic<u64> d2h_bytes{0};
+  std::atomic<u64> d2d_bytes{0};
+  std::atomic<u64> kernels_launched{0};
+  std::atomic<u64> device_bytes_in_use{0};
+  std::atomic<u64> device_bytes_peak{0};
+
+  void reset_transfers() {
+    h2d_bytes = 0;
+    d2h_bytes = 0;
+    d2d_bytes = 0;
+    kernels_launched = 0;
+  }
+};
+
+/// Process-wide runtime: owns the worker pool and the device heap
+/// accounting. Thread-safe.
+class runtime {
+ public:
+  static runtime& instance() {
+    static runtime rt;
+    return rt;
+  }
+
+  thread_pool& pool() { return pool_; }
+  runtime_stats& stats() { return stats_; }
+
+  [[nodiscard]] void* device_alloc(std::size_t bytes) {
+    void* p = ::operator new(bytes, std::align_val_t{64});
+    const u64 in_use =
+        stats_.device_bytes_in_use.fetch_add(bytes) + bytes;
+    u64 peak = stats_.device_bytes_peak.load();
+    while (in_use > peak &&
+           !stats_.device_bytes_peak.compare_exchange_weak(peak, in_use)) {
+    }
+    return p;
+  }
+
+  void device_free(void* p, std::size_t bytes) {
+    ::operator delete(p, std::align_val_t{64});
+    stats_.device_bytes_in_use.fetch_sub(bytes);
+  }
+
+  /// Grain used when decomposing kernel launches ("block size").
+  [[nodiscard]] std::size_t default_block() const { return 1u << 14; }
+
+ private:
+  runtime() = default;
+  thread_pool pool_;
+  runtime_stats stats_;
+};
+
+/// Typed allocation pinned to one memory space. RAII; movable, not
+/// copyable. Element access from the "wrong" side is a programming error
+/// that `assert_space` makes loud in tests.
+template <class T>
+class buffer {
+ public:
+  buffer() = default;
+
+  explicit buffer(std::size_t n, space sp = space::device)
+      : n_(n), space_(sp) {
+    if (n_ == 0) return;
+    const std::size_t bytes = n_ * sizeof(T);
+    if (space_ == space::device) {
+      ptr_ = static_cast<T*>(runtime::instance().device_alloc(bytes));
+    } else {
+      ptr_ = static_cast<T*>(::operator new(bytes, std::align_val_t{64}));
+    }
+  }
+
+  buffer(buffer&& o) noexcept { swap(o); }
+  buffer& operator=(buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+  buffer(const buffer&) = delete;
+  buffer& operator=(const buffer&) = delete;
+
+  ~buffer() { release(); }
+
+  [[nodiscard]] T* data() { return ptr_; }
+  [[nodiscard]] const T* data() const { return ptr_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t bytes() const { return n_ * sizeof(T); }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] space where() const { return space_; }
+
+  [[nodiscard]] std::span<T> span() { return {ptr_, n_}; }
+  [[nodiscard]] std::span<const T> span() const { return {ptr_, n_}; }
+
+  void assert_space(space expected) const {
+    FZMOD_REQUIRE(space_ == expected, status::invalid_argument,
+                  std::string("buffer is in ") + to_string(space_) +
+                      " memory, expected " + to_string(expected));
+  }
+
+  void fill_zero() {
+    if (ptr_) std::memset(ptr_, 0, bytes());
+  }
+
+ private:
+  void release() {
+    if (!ptr_) return;
+    if (space_ == space::device) {
+      runtime::instance().device_free(ptr_, n_ * sizeof(T));
+    } else {
+      ::operator delete(ptr_, std::align_val_t{64});
+    }
+    ptr_ = nullptr;
+    n_ = 0;
+  }
+
+  void swap(buffer& o) noexcept {
+    std::swap(ptr_, o.ptr_);
+    std::swap(n_, o.n_);
+    std::swap(space_, o.space_);
+  }
+
+  T* ptr_ = nullptr;
+  std::size_t n_ = 0;
+  space space_ = space::device;
+};
+
+/// In-order asynchronous work queue, semantically a CUDA stream: operations
+/// enqueue immediately and execute FIFO on the pool; `sync()` blocks until
+/// the queue drains. Distinct streams run concurrently.
+class stream {
+ public:
+  stream() = default;
+  stream(const stream&) = delete;
+  stream& operator=(const stream&) = delete;
+
+  ~stream() { sync(); }
+
+  void enqueue(std::function<void()> op) {
+    std::unique_lock lk(mu_);
+    ops_.push_back(std::move(op));
+    if (!running_) {
+      running_ = true;
+      lk.unlock();
+      runtime::instance().pool().submit_detached([this] { drain(); });
+    }
+  }
+
+  void sync() {
+    std::unique_lock lk(mu_);
+    idle_cv_.wait(lk, [this] { return ops_.empty() && !running_; });
+    if (pending_error_) {
+      auto e = pending_error_;
+      pending_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void drain() {
+    for (;;) {
+      std::function<void()> op;
+      {
+        std::lock_guard lk(mu_);
+        if (ops_.empty()) {
+          running_ = false;
+          idle_cv_.notify_all();
+          return;
+        }
+        op = std::move(ops_.front());
+        ops_.pop_front();
+      }
+      try {
+        op();
+      } catch (...) {
+        std::lock_guard lk(mu_);
+        // First error wins; later ops are abandoned (queue is cleared) so a
+        // failed kernel does not feed garbage into its successors.
+        if (!pending_error_) pending_error_ = std::current_exception();
+        ops_.clear();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> ops_;
+  std::exception_ptr pending_error_ = nullptr;
+  bool running_ = false;
+};
+
+/// One-shot completion marker, semantically a CUDA event: `record` enqueues
+/// the marker onto a stream, `wait` blocks a host thread, and
+/// `stream_wait` makes another stream's subsequent work wait on it.
+class event {
+ public:
+  event() : state_(std::make_shared<state>()) {}
+
+  void record(stream& s) {
+    auto st = state_;
+    {
+      std::lock_guard lk(st->mu);
+      st->done = false;
+    }
+    s.enqueue([st] {
+      std::lock_guard lk(st->mu);
+      st->done = true;
+      st->cv.notify_all();
+    });
+  }
+
+  void wait() const {
+    auto st = state_;
+    std::unique_lock lk(st->mu);
+    st->cv.wait(lk, [&] { return st->done; });
+  }
+
+  void stream_wait(stream& s) const {
+    auto st = state_;
+    s.enqueue([st] {
+      std::unique_lock lk(st->mu);
+      st->cv.wait(lk, [&] { return st->done; });
+    });
+  }
+
+  [[nodiscard]] bool query() const {
+    std::lock_guard lk(state_->mu);
+    return state_->done;
+  }
+
+ private:
+  struct state {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = true;  // unrecorded events are trivially complete
+  };
+  std::shared_ptr<state> state_;
+};
+
+/// Stream-ordered byte copy between spaces. The copy really moves bytes,
+/// so D2H/H2D costs show up in wall-clock measurements; volumes are
+/// tallied per direction in runtime_stats.
+inline void memcpy_async(void* dst, const void* src, std::size_t bytes,
+                         copy_kind kind, stream& s) {
+  s.enqueue([=] {
+    std::memcpy(dst, src, bytes);
+    auto& st = runtime::instance().stats();
+    switch (kind) {
+      case copy_kind::h2d: st.h2d_bytes += bytes; break;
+      case copy_kind::d2h: st.d2h_bytes += bytes; break;
+      case copy_kind::d2d: st.d2d_bytes += bytes; break;
+      case copy_kind::h2h: break;
+    }
+  });
+}
+
+template <class T>
+void copy_async(buffer<T>& dst, const buffer<T>& src, stream& s) {
+  FZMOD_REQUIRE(dst.size() >= src.size(), status::invalid_argument,
+                "copy_async: destination too small");
+  const copy_kind kind =
+      src.where() == space::host
+          ? (dst.where() == space::host ? copy_kind::h2h : copy_kind::h2d)
+          : (dst.where() == space::host ? copy_kind::d2h : copy_kind::d2d);
+  memcpy_async(dst.data(), src.data(), src.bytes(), kind, s);
+}
+
+/// Data-parallel kernel launch: `body(i)` for each i in [0, n), decomposed
+/// into block-sized chunks over the pool, stream-ordered. This is the shape
+/// every "GPU" kernel in this repo is written against — the CUDA versions
+/// would be grid-stride loops with the same bodies.
+template <class F>
+void launch(stream& s, std::size_t n, F body) {
+  s.enqueue([n, body = std::move(body)] {
+    auto& rt = runtime::instance();
+    rt.stats().kernels_launched += 1;
+    rt.pool().parallel_for(n, rt.default_block(),
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) body(i);
+                           });
+  });
+}
+
+/// Block-cooperative launch: `body(block_index, lo, hi)` once per block.
+/// Kernels that keep block-local state (histogram privatization, per-tile
+/// bitshuffle, per-chunk Huffman) use this form.
+template <class F>
+void launch_blocks(stream& s, std::size_t n, std::size_t block, F body) {
+  s.enqueue([n, block, body = std::move(body)] {
+    auto& rt = runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t nblocks = block ? (n + block - 1) / block : 0;
+    rt.pool().parallel_for(
+        nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+          for (std::size_t b = blo; b < bhi; ++b) {
+            body(b, b * block, std::min(n, (b + 1) * block));
+          }
+        });
+  });
+}
+
+/// Run arbitrary host-side work stream-ordered (CPU stages of a hybrid
+/// pipeline — e.g. FZMod-Default's CPU Huffman encode).
+template <class F>
+void host_task(stream& s, F body) {
+  s.enqueue(std::move(body));
+}
+
+}  // namespace fzmod::device

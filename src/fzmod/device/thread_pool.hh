@@ -1,0 +1,173 @@
+// FZModules — worker pool backing the software device runtime.
+//
+// The pool plays the role of the GPU's SM array in this reproduction: kernel
+// launches are decomposed into block-sized chunks and executed by pool
+// workers. It is deliberately small and boring — fixed worker count, one
+// shared FIFO, condition-variable wakeup — because the interesting
+// scheduling lives a layer up (streams order work; the STF layer builds
+// DAGs).
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::device {
+
+class thread_pool {
+ public:
+  /// `workers == 0` picks a default: hardware_concurrency, but at least 4
+  /// so concurrency paths (streams, STF overlap) are exercised even on the
+  /// single-core CI machines this reproduction targets.
+  explicit thread_pool(unsigned workers = 0) {
+    if (workers == 0) {
+      workers = std::thread::hardware_concurrency();
+      if (workers < 4) workers = 4;
+    }
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  ~thread_pool() {
+    {
+      std::lock_guard lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a job. The returned future completes when the job finishes;
+  /// exceptions propagate through it.
+  template <class F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lk(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Fire-and-forget variant for internal continuations that manage their
+  /// own completion signalling (stream ops, STF tasks).
+  void submit_detached(std::function<void()> fn) {
+    {
+      std::lock_guard lk(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocking parallel-for: split [0, n) into ~grain-sized chunks, run them
+  /// on the pool, and also help from the calling thread (so nested use from
+  /// a pool worker cannot deadlock on a saturated queue).
+  template <class F>
+  void parallel_for(std::size_t n, std::size_t grain, F&& body) {
+    if (n == 0) return;
+    const std::size_t nchunks =
+        grain == 0 ? 1 : (n + grain - 1) / grain;
+    if (nchunks <= 1) {
+      body(std::size_t{0}, n);
+      return;
+    }
+    // Shared state lives on the heap: detached helpers can wake after this
+    // frame has returned (all chunks already claimed) and must still find
+    // valid counters.
+    struct shared_state {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::mutex mu;
+      std::condition_variable cv;
+      std::exception_ptr error;  // first chunk failure, guarded by mu
+    };
+    auto st = std::make_shared<shared_state>();
+    auto run_chunks = [st, nchunks, grain, n, &body] {
+      for (;;) {
+        const std::size_t c =
+            st->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= nchunks) break;
+        const std::size_t lo = c * grain;
+        const std::size_t hi = std::min(n, lo + grain);
+        // A throwing chunk must still count as done, or the caller waits
+        // forever; the first error is rethrown on the caller's thread.
+        try {
+          body(lo, hi);
+        } catch (...) {
+          std::lock_guard lk(st->mu);
+          if (!st->error) st->error = std::current_exception();
+        }
+        if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            nchunks) {
+          std::lock_guard lk(st->mu);
+          st->cv.notify_all();
+        }
+      }
+    };
+    // Helpers must not touch `body` after completion is signalled: the
+    // caller's frame (and body) may be gone. They claim chunks first and
+    // only run body for claimed chunks, which is safe because completion
+    // is only reached when every chunk has finished.
+    const unsigned helpers =
+        static_cast<unsigned>(std::min<std::size_t>(size(), nchunks - 1));
+    for (unsigned i = 0; i < helpers; ++i) submit_detached(run_chunks);
+    run_chunks();
+    std::unique_lock lk(st->mu);
+    st->cv.wait(lk, [&] {
+      return st->done.load(std::memory_order_acquire) == nchunks;
+    });
+    if (st->error) std::rethrow_exception(st->error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      // Detached jobs are expected to contain their own errors (streams,
+      // STF tasks, parallel_for chunks all do); anything that escapes
+      // would terminate the process, so trap it as a last resort.
+      try {
+        job();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fzmod: uncaught error in pool worker: %s\n",
+                     e.what());
+      } catch (...) {
+        std::fprintf(stderr, "fzmod: uncaught error in pool worker\n");
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace fzmod::device

@@ -1,0 +1,191 @@
+#include "fzmod/encoders/fzg.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "fzmod/common/bits.hh"
+#include "fzmod/kernels/bitshuffle.hh"
+
+namespace fzmod::encoders {
+namespace {
+
+/// Re-centre a code around the radius and zigzag it; the outlier sentinel
+/// (0) maps to 0 so it stays maximally sparse. Bijective on [0, 2*radius).
+[[nodiscard]] inline u16 recentre(u16 code, int radius) {
+  if (code == 0) return 0;
+  return static_cast<u16>(
+      zigzag_encode(static_cast<i32>(code) - radius) + 1);
+}
+
+[[nodiscard]] inline u16 uncentre(u16 t, int radius) {
+  if (t == 0) return 0;
+  return static_cast<u16>(zigzag_decode(static_cast<u32>(t) - 1) + radius);
+}
+
+}  // namespace
+
+void fzg_pack_async(const device::buffer<u16>& symbols, fzg_result& out,
+                    device::stream& s) {
+  symbols.assert_space(device::space::device);
+  const std::size_t n = symbols.size();
+  const std::size_t plane_words = kernels::bitshuffle_words(n);
+  const std::size_t bitmap_words = (plane_words + 31) / 32;
+
+  out.n_codes = n;
+  out.bitmap_words = bitmap_words;
+  out.payload = device::buffer<u32>(bitmap_words + plane_words,
+                                    device::space::device);
+
+  auto planes = std::make_shared<device::buffer<u32>>(plane_words,
+                                                      device::space::device);
+
+  // 1. Bit-plane transpose.
+  kernels::bitshuffle_fwd_async(symbols, *planes, s);
+
+  // 2. Dictionary: bitmap of nonzero words + compaction. Runs as one
+  // stream op with an internal count/scan/write, the same structure the
+  // fused FZ-GPU kernel uses across thread blocks.
+  const u32* pw = planes->data();
+  u32* payload = out.payload.data();
+  fzg_result* res = &out;
+  s.enqueue([pw, payload, plane_words, bitmap_words, res, planes] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    // Block size is a multiple of 32, so no two blocks share a bitmap
+    // word and the |= below is race-free.
+    const std::size_t block = rt.default_block();
+    const std::size_t nblocks =
+        plane_words ? (plane_words + block - 1) / block : 0;
+    std::fill(payload, payload + bitmap_words, 0u);
+    std::vector<u64> counts(nblocks, 0);
+    // Pass A: bitmap + per-block nonzero counts.
+    rt.pool().parallel_for(nblocks, 1,
+                           [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t b = blo; b < bhi; ++b) {
+        u64 c = 0;
+        const std::size_t end = std::min(plane_words, (b + 1) * block);
+        for (std::size_t w = b * block; w < end; ++w) {
+          if (pw[w]) {
+            payload[w >> 5] |= u32{1} << (w & 31);
+            ++c;
+          }
+        }
+        counts[b] = c;
+      }
+    });
+    u64 acc = 0;
+    for (auto& c : counts) {
+      const u64 t = c;
+      c = acc;
+      acc += t;
+    }
+    res->packed_words = acc;
+    // Pass B: compact nonzero words after the bitmap.
+    u32* packed = payload + bitmap_words;
+    rt.pool().parallel_for(nblocks, 1,
+                           [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t b = blo; b < bhi; ++b) {
+        u64 pos = counts[b];
+        const std::size_t end = std::min(plane_words, (b + 1) * block);
+        for (std::size_t w = b * block; w < end; ++w) {
+          if (pw[w]) packed[pos++] = pw[w];
+        }
+      }
+    });
+  });
+}
+
+void fzg_unpack_async(const fzg_result& enc, device::buffer<u16>& symbols,
+                      device::stream& s) {
+  symbols.assert_space(device::space::device);
+  enc.payload.assert_space(device::space::device);
+  const std::size_t n = enc.n_codes;
+  FZMOD_REQUIRE(symbols.size() >= n, status::invalid_argument,
+                "fzg: output buffer too small");
+  const std::size_t plane_words = kernels::bitshuffle_words(n);
+  FZMOD_REQUIRE(enc.bitmap_words == (plane_words + 31) / 32,
+                status::corrupt_archive, "fzg: bitmap size mismatch");
+
+  auto planes = std::make_shared<device::buffer<u32>>(plane_words,
+                                                      device::space::device);
+
+  // 1. Expand the dictionary: popcount-scan the bitmap for offsets, then
+  // scatter packed words back to their plane positions.
+  const u32* payload = enc.payload.data();
+  const u64 bitmap_words = enc.bitmap_words;
+  const u64 packed_words = enc.packed_words;
+  u32* pw = planes->data();
+  s.enqueue([payload, bitmap_words, packed_words, pw, plane_words, planes] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    // Exclusive popcount scan over bitmap words (small, sequential).
+    std::vector<u64> offset(bitmap_words + 1, 0);
+    for (u64 b = 0; b < bitmap_words; ++b) {
+      offset[b + 1] = offset[b] + std::popcount(payload[b]);
+    }
+    FZMOD_REQUIRE(offset[bitmap_words] == packed_words,
+                  status::corrupt_archive,
+                  "fzg: bitmap/payload population mismatch");
+    const u32* packed = payload + bitmap_words;
+    rt.pool().parallel_for(
+        bitmap_words, 1u << 12, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t b = lo; b < hi; ++b) {
+            u32 bits = payload[b];
+            u64 pos = offset[b];
+            const std::size_t base = b << 5;
+            const std::size_t gend = std::min(plane_words, base + 32);
+            for (std::size_t w = base; w < gend; ++w) pw[w] = 0;
+            while (bits) {
+              const std::size_t w = base + std::countr_zero(bits);
+              pw[w] = packed[pos++];
+              bits &= bits - 1;
+            }
+          }
+        });
+  });
+
+  // 2. Inverse transpose into the symbol stream. The trailing no-op
+  // anchors `planes` until the transpose (which captures only raw
+  // pointers) has consumed it.
+  kernels::bitshuffle_inv_async(*planes, symbols, s);
+  s.enqueue([planes] {});
+}
+
+void fzg_encode_async(const device::buffer<u16>& codes, int radius,
+                      fzg_result& out, device::stream& s) {
+  codes.assert_space(device::space::device);
+  const std::size_t n = codes.size();
+  out.radius = radius;
+
+  auto centred =
+      std::make_shared<device::buffer<u16>>(n, device::space::device);
+  {
+    const u16* in = codes.data();
+    u16* t = centred->data();
+    device::launch(s, n, [in, t, radius](std::size_t i) {
+      t[i] = recentre(in[i], radius);
+    });
+  }
+  fzg_pack_async(*centred, out, s);
+  // Keep `centred` alive until the pack's stream ops consumed it.
+  s.enqueue([centred] {});
+}
+
+void fzg_decode_async(const fzg_result& enc, device::buffer<u16>& codes,
+                      device::stream& s) {
+  const std::size_t n = enc.n_codes;
+  auto centred =
+      std::make_shared<device::buffer<u16>>(n, device::space::device);
+  fzg_unpack_async(enc, *centred, s);
+  {
+    const u16* t = centred->data();
+    u16* outp = codes.data();
+    const int radius = enc.radius;
+    device::launch(s, n, [t, outp, radius, centred](std::size_t i) {
+      outp[i] = uncentre(t[i], radius);
+    });
+  }
+}
+
+}  // namespace fzmod::encoders

@@ -1,0 +1,54 @@
+// FZModules — FZ-GPU's bitshuffle + dictionary lossless encoder
+// (Zhang et al., HPDC'23), adapted as a modular FZModules codec.
+//
+// Stage shape:
+//   1. re-centre + zigzag the quantization codes so magnitudes are small;
+//   2. bitshuffle tiles into bit-plane order (kernels/bitshuffle.hh) — the
+//      high planes become all-zero machine words;
+//   3. dictionary stage: a bitmap marks nonzero u32 words, only nonzero
+//      words are stored.
+//
+// The whole codec is device-resident — this is the encoder FZMod-Speed
+// swaps in to avoid the D2H transfer + CPU Huffman of FZMod-Default.
+// It trades compression ratio for throughput (paper §3.2: "very extreme
+// compression metrics").
+#pragma once
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::encoders {
+
+/// Encoded representation, device-resident. `payload` holds the bitmap
+/// followed by the compacted nonzero words; only the first
+/// `bitmap_words + packed_words` entries are meaningful.
+struct fzg_result {
+  device::buffer<u32> payload;
+  u64 n_codes = 0;       // original symbol count
+  u64 bitmap_words = 0;  // ceil(plane_words / 32)
+  u64 packed_words = 0;  // nonzero plane words stored
+  int radius = 0;
+
+  [[nodiscard]] u64 payload_words() const {
+    return bitmap_words + packed_words;
+  }
+  [[nodiscard]] u64 bytes() const { return payload_words() * sizeof(u32); }
+};
+
+/// Encode a device code stream. Complete after `s.sync()`.
+void fzg_encode_async(const device::buffer<u16>& codes, int radius,
+                      fzg_result& out, device::stream& s);
+
+/// Decode back into a presized device code buffer.
+void fzg_decode_async(const fzg_result& enc, device::buffer<u16>& codes,
+                      device::stream& s);
+
+/// Lower-level entry points operating on already-centred (small-magnitude)
+/// u16 symbols — the fused FZ-GPU baseline performs its own re-centring
+/// inside its prediction kernel and shares the shuffle+dictionary core
+/// through these.
+void fzg_pack_async(const device::buffer<u16>& symbols, fzg_result& out,
+                    device::stream& s);
+void fzg_unpack_async(const fzg_result& enc, device::buffer<u16>& symbols,
+                      device::stream& s);
+
+}  // namespace fzmod::encoders

@@ -1,0 +1,360 @@
+#include "fzmod/encoders/huffman.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <queue>
+
+#include "fzmod/common/bits.hh"
+#include "fzmod/common/error.hh"
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::encoders {
+namespace {
+
+struct blob_header {
+  u32 magic;
+  u32 nbins;
+  u64 count;
+  u32 nchunks;
+  u32 chunk;
+};
+constexpr u32 blob_magic = 0x48554646;  // "HUFF"
+
+/// Compute unrestricted code lengths by Huffman tree construction.
+std::vector<u8> tree_lengths(std::span<const u32> freq) {
+  struct node {
+    u64 weight;
+    i32 left;    // -1 for leaf
+    i32 right;
+    u16 symbol;
+  };
+  std::vector<node> nodes;
+  nodes.reserve(freq.size() * 2);
+  using heap_item = std::pair<u64, i32>;  // (weight, node index)
+  std::priority_queue<heap_item, std::vector<heap_item>, std::greater<>> heap;
+  for (std::size_t sym = 0; sym < freq.size(); ++sym) {
+    if (freq[sym] == 0) continue;
+    nodes.push_back({freq[sym], -1, -1, static_cast<u16>(sym)});
+    heap.emplace(freq[sym], static_cast<i32>(nodes.size() - 1));
+  }
+  FZMOD_REQUIRE(!heap.empty(), status::invalid_argument,
+                "huffman: empty histogram");
+  if (heap.size() == 1) {
+    // Degenerate single-symbol alphabet: assign a 1-bit code.
+    std::vector<u8> lens(freq.size(), 0);
+    lens[nodes[0].symbol] = 1;
+    return lens;
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, 0});
+    heap.emplace(wa + wb, static_cast<i32>(nodes.size() - 1));
+  }
+  std::vector<u8> lens(freq.size(), 0);
+  // Iterative depth-first walk assigning depths to leaves.
+  std::vector<std::pair<i32, u8>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [ni, depth] = stack.back();
+    stack.pop_back();
+    const node& nd = nodes[static_cast<std::size_t>(ni)];
+    if (nd.left < 0) {
+      lens[nd.symbol] = std::max<u8>(depth, 1);
+    } else {
+      stack.emplace_back(nd.left, static_cast<u8>(depth + 1));
+      stack.emplace_back(nd.right, static_cast<u8>(depth + 1));
+    }
+  }
+  return lens;
+}
+
+/// Enforce the 24-bit cap: clamp overlong codes, then repair the Kraft sum
+/// by lengthening the cheapest short codes (zlib's classic adjustment).
+void limit_lengths(std::vector<u8>& lens, u32 cap) {
+  u64 kraft = 0;  // scaled by 2^cap
+  bool clamped = false;
+  for (auto& l : lens) {
+    if (l == 0) continue;
+    if (l > cap) {
+      l = static_cast<u8>(cap);
+      clamped = true;
+    }
+    kraft += u64{1} << (cap - l);
+  }
+  if (!clamped) return;
+  // While over-subscribed, demote one max-length slot's sibling: find a
+  // code with length < cap and increase it; each increment frees
+  // 2^(cap-l) - 2^(cap-l-1) units.
+  while (kraft > (u64{1} << cap)) {
+    // Prefer lengthening the longest code below the cap (cheapest CR hit).
+    u8 best = 0;
+    std::size_t best_sym = 0;
+    for (std::size_t sym = 0; sym < lens.size(); ++sym) {
+      if (lens[sym] != 0 && lens[sym] < cap && lens[sym] > best) {
+        best = lens[sym];
+        best_sym = sym;
+      }
+    }
+    FZMOD_REQUIRE(best != 0, status::internal,
+                  "huffman: cannot satisfy length cap");
+    kraft -= u64{1} << (cap - lens[best_sym] - 1);
+    lens[best_sym] += 1;
+  }
+}
+
+/// Canonical code assignment from lengths (shorter lengths first, ties by
+/// symbol order).
+void assign_codes(const std::vector<u8>& lens, std::vector<u32>& codes) {
+  codes.assign(lens.size(), 0);
+  std::array<u32, huffman_max_code_len + 2> count{};
+  for (const u8 l : lens) count[l]++;
+  count[0] = 0;
+  std::array<u32, huffman_max_code_len + 2> next{};
+  u32 code = 0;
+  for (u32 l = 1; l <= huffman_max_code_len; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (std::size_t sym = 0; sym < lens.size(); ++sym) {
+    if (lens[sym]) codes[sym] = next[lens[sym]]++;
+  }
+}
+
+/// Canonical decode tables derived from lengths alone.
+struct decode_table {
+  std::array<u32, huffman_max_code_len + 2> first_code{};
+  std::array<u32, huffman_max_code_len + 2> first_index{};
+  std::array<u32, huffman_max_code_len + 2> count{};
+  std::vector<u16> symbols;  // sorted by (len, symbol)
+  // Fast path: direct lookup of the top `fast_bits` of the window.
+  static constexpr u32 fast_bits = 12;
+  std::vector<u32> fast;  // (symbol << 8) | len, or 0 for slow path
+
+  explicit decode_table(std::span<const u8> lens) {
+    for (const u8 l : lens) {
+      FZMOD_REQUIRE(l <= huffman_max_code_len, status::corrupt_archive,
+                    "huffman: code length exceeds cap");
+      count[l]++;
+    }
+    count[0] = 0;
+    u32 code = 0, index = 0;
+    for (u32 l = 1; l <= huffman_max_code_len; ++l) {
+      code = (code + count[l - 1]) << 1;
+      first_code[l] = code;
+      first_index[l] = index;
+      index += count[l];
+    }
+    symbols.resize(index);
+    std::array<u32, huffman_max_code_len + 2> next{};
+    next = first_index;
+    for (std::size_t sym = 0; sym < lens.size(); ++sym) {
+      if (lens[sym]) symbols[next[lens[sym]]++] = static_cast<u16>(sym);
+    }
+    // Validate the Kraft inequality so corrupt lengths can't walk us out
+    // of the symbol table during decode.
+    u64 kraft = 0;
+    for (u32 l = 1; l <= huffman_max_code_len; ++l) {
+      kraft += static_cast<u64>(count[l]) << (huffman_max_code_len - l);
+    }
+    FZMOD_REQUIRE(kraft <= (u64{1} << huffman_max_code_len),
+                  status::corrupt_archive,
+                  "huffman: invalid code lengths (Kraft violation)");
+
+    fast.assign(std::size_t{1} << fast_bits, 0);
+    std::vector<u32> codes;
+    std::vector<u8> lens_copy(lens.begin(), lens.end());
+    assign_codes(lens_copy, codes);
+    for (std::size_t sym = 0; sym < lens.size(); ++sym) {
+      const u8 l = lens[sym];
+      if (l == 0 || l > fast_bits) continue;
+      const u32 prefix = codes[sym] << (fast_bits - l);
+      for (u32 fill = 0; fill < (u32{1} << (fast_bits - l)); ++fill) {
+        fast[prefix | fill] = (static_cast<u32>(sym) << 8) | l;
+      }
+    }
+  }
+
+  /// Decode one symbol from an MSB-first window of fast_bits..cap bits.
+  [[nodiscard]] std::pair<u16, u32> decode(u64 window_msb_first) const {
+    const u32 f = fast[window_msb_first >> (huffman_max_code_len - fast_bits)];
+    if (f) return {static_cast<u16>(f >> 8), f & 0xff};
+    u32 code = 0;
+    for (u32 l = 1; l <= huffman_max_code_len; ++l) {
+      code = static_cast<u32>(window_msb_first >>
+                              (huffman_max_code_len - l));
+      if (count[l] &&
+          code - first_code[l] < count[l]) {
+        return {symbols[first_index[l] + (code - first_code[l])], l};
+      }
+    }
+    throw error(status::corrupt_archive, "huffman: undecodable window");
+  }
+};
+
+/// Encode one chunk MSB-first into `dst` (sized worst case); returns bits.
+u64 encode_chunk(std::span<const u16> chunk, const huffman_codebook& book,
+                 u8* dst) {
+  u64 bitpos = 0;
+  for (const u16 sym : chunk) {
+    const u8 l = book.len[sym];
+    FZMOD_REQUIRE(l != 0, status::internal,
+                  "huffman: symbol missing from codebook");
+    const u32 c = book.code[sym];
+    // MSB-first append.
+    for (u32 b = 0; b < l; ++b, ++bitpos) {
+      if ((c >> (l - 1 - b)) & 1u) dst[bitpos >> 3] |= u8(1u << (7 - (bitpos & 7)));
+    }
+  }
+  return bitpos;
+}
+
+}  // namespace
+
+huffman_codebook huffman_codebook::build(std::span<const u32> freq) {
+  huffman_codebook book;
+  book.len = tree_lengths(freq);
+  limit_lengths(book.len, huffman_max_code_len);
+  assign_codes(book.len, book.code);
+  return book;
+}
+
+f64 huffman_codebook::expected_bits(std::span<const u32> freq) const {
+  u64 total = 0, bits = 0;
+  for (std::size_t sym = 0; sym < freq.size(); ++sym) {
+    total += freq[sym];
+    bits += static_cast<u64>(freq[sym]) * len[sym];
+  }
+  return total ? static_cast<f64>(bits) / static_cast<f64>(total) : 0.0;
+}
+
+std::vector<u8> huffman_encode(std::span<const u16> codes,
+                               std::span<const u32> hist) {
+  const auto book = huffman_codebook::build(hist);
+  const std::size_t n = codes.size();
+  const std::size_t nchunks = n ? (n - 1) / huffman_chunk + 1 : 0;
+
+  // Encode chunks in parallel into scratch buffers.
+  std::vector<std::vector<u8>> scratch(nchunks);
+  std::vector<u64> chunk_bytes(nchunks, 0);
+  device::runtime::instance().pool().parallel_for(
+      nchunks, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          const std::size_t beg = c * huffman_chunk;
+          const std::size_t end = std::min(n, beg + huffman_chunk);
+          auto& buf = scratch[c];
+          buf.assign((end - beg) * (huffman_max_code_len / 8 + 1) + 8, 0);
+          const u64 bits =
+              encode_chunk(codes.subspan(beg, end - beg), book, buf.data());
+          chunk_bytes[c] = (bits + 7) / 8;
+        }
+      });
+
+  // Assemble the blob: header | lens | offsets | payload.
+  std::vector<u64> offsets(nchunks + 1, 0);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    offsets[c + 1] = offsets[c] + chunk_bytes[c];
+  }
+  const blob_header hdr{blob_magic, static_cast<u32>(hist.size()),
+                        static_cast<u64>(n), static_cast<u32>(nchunks),
+                        static_cast<u32>(huffman_chunk)};
+  std::vector<u8> blob(sizeof(hdr) + hist.size() +
+                       (nchunks + 1) * sizeof(u64) + offsets[nchunks] + 8);
+  u8* p = blob.data();
+  std::memcpy(p, &hdr, sizeof(hdr));
+  p += sizeof(hdr);
+  std::memcpy(p, book.len.data(), book.len.size());
+  p += book.len.size();
+  std::memcpy(p, offsets.data(), (nchunks + 1) * sizeof(u64));
+  p += (nchunks + 1) * sizeof(u64);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::memcpy(p + offsets[c], scratch[c].data(), chunk_bytes[c]);
+  }
+  blob.resize(static_cast<std::size_t>(p - blob.data()) + offsets[nchunks]);
+  return blob;
+}
+
+u64 huffman_decoded_count(std::span<const u8> blob) {
+  FZMOD_REQUIRE(blob.size() >= sizeof(blob_header), status::corrupt_archive,
+                "huffman: blob too small");
+  blob_header hdr;
+  std::memcpy(&hdr, blob.data(), sizeof(hdr));
+  FZMOD_REQUIRE(hdr.magic == blob_magic, status::corrupt_archive,
+                "huffman: bad magic");
+  return hdr.count;
+}
+
+void huffman_decode(std::span<const u8> blob, std::span<u16> out) {
+  FZMOD_REQUIRE(blob.size() >= sizeof(blob_header), status::corrupt_archive,
+                "huffman: blob too small");
+  blob_header hdr;
+  std::memcpy(&hdr, blob.data(), sizeof(hdr));
+  FZMOD_REQUIRE(hdr.magic == blob_magic, status::corrupt_archive,
+                "huffman: bad magic");
+  FZMOD_REQUIRE(out.size() >= hdr.count, status::invalid_argument,
+                "huffman: output span too small");
+  // Internal consistency before any count-derived allocation.
+  FZMOD_REQUIRE(hdr.chunk == huffman_chunk, status::corrupt_archive,
+                "huffman: unsupported chunk size");
+  FZMOD_REQUIRE(hdr.nchunks ==
+                    (hdr.count ? (hdr.count - 1) / hdr.chunk + 1 : 0),
+                status::corrupt_archive, "huffman: chunk count mismatch");
+  FZMOD_REQUIRE(hdr.nbins <= 65536, status::corrupt_archive,
+                "huffman: implausible alphabet size");
+  const std::size_t meta =
+      sizeof(hdr) + hdr.nbins + (hdr.nchunks + 1) * sizeof(u64);
+  FZMOD_REQUIRE(blob.size() >= meta, status::corrupt_archive,
+                "huffman: truncated metadata");
+
+  std::span<const u8> lens = blob.subspan(sizeof(hdr), hdr.nbins);
+  std::vector<u64> offsets(hdr.nchunks + 1);
+  std::memcpy(offsets.data(), blob.data() + sizeof(hdr) + hdr.nbins,
+              offsets.size() * sizeof(u64));
+  // Offsets are data: enforce monotonicity so no chunk can point outside
+  // the payload.
+  for (u32 c = 0; c < hdr.nchunks; ++c) {
+    FZMOD_REQUIRE(offsets[c] <= offsets[c + 1], status::corrupt_archive,
+                  "huffman: non-monotonic chunk offsets");
+  }
+  FZMOD_REQUIRE(offsets[hdr.nchunks] <= blob.size() &&
+                    blob.size() >= meta + offsets[hdr.nchunks],
+                status::corrupt_archive, "huffman: truncated payload");
+  const decode_table table(lens);
+
+  // Pad the payload copy so MSB-window reads never run off the end.
+  std::vector<u8> payload(offsets[hdr.nchunks] + 16, 0);
+  std::memcpy(payload.data(), blob.data() + meta, offsets[hdr.nchunks]);
+
+  device::runtime::instance().pool().parallel_for(
+      hdr.nchunks, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          const u64 beg_sym = c * hdr.chunk;
+          const u64 end_sym =
+              std::min<u64>(hdr.count, beg_sym + hdr.chunk);
+          const u8* src = payload.data() + offsets[c];
+          // A corrupt bitstream must not walk the cursor past this
+          // chunk's extent (the +16 padding then covers window reads).
+          const u64 bit_limit = (offsets[c + 1] - offsets[c]) * 8;
+          u64 bitpos = 0;
+          for (u64 i = beg_sym; i < end_sym; ++i) {
+            FZMOD_REQUIRE(bitpos <= bit_limit, status::corrupt_archive,
+                          "huffman: chunk bitstream overrun");
+            // Assemble a 24-bit MSB-first window at bitpos.
+            u64 window = 0;
+            const u64 byte = bitpos >> 3;
+            for (int b = 0; b < 4; ++b) {
+              window = (window << 8) | src[byte + static_cast<u64>(b)];
+            }
+            window = (window >> (8 - (bitpos & 7))) &
+                     ((u64{1} << huffman_max_code_len) - 1);
+            const auto [sym, len] = table.decode(window);
+            out[i] = sym;
+            bitpos += len;
+          }
+        }
+      });
+}
+
+}  // namespace fzmod::encoders

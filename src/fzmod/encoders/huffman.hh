@@ -1,0 +1,58 @@
+// FZModules — canonical Huffman codec for quantization codes.
+//
+// This is the high-ratio primary lossless codec (cuSZ's Huffman stage). The
+// paper's FZMod-Default and FZMod-Quality pipelines run it on the CPU
+// ("CPU-based Huffman encoding due to low GPU performance of Huffman
+// encoders", §3.3), so the API here is host-side: the pipeline pays an
+// explicit D2H transfer for the code stream first, exactly like the hybrid
+// design in the paper.
+//
+// Properties:
+//  - canonical, length-limited codes (max 24 bits) built from the
+//    histogram module's output, so codebook transmission is just one code
+//    length per symbol;
+//  - coarse-grained chunking (8192 symbols): chunks encode and decode
+//    independently in parallel, mirroring cuSZ's coarse-grained GPU
+//    Huffman layout;
+//  - fully self-contained archive blob (header + lengths + chunk offsets +
+//    bitstream), validated on decode.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::encoders {
+
+inline constexpr u32 huffman_max_code_len = 24;
+inline constexpr std::size_t huffman_chunk = 8192;
+
+/// Canonical codebook: assignment of (code, length) per symbol.
+struct huffman_codebook {
+  std::vector<u32> code;  // canonical code value, MSB-first semantics
+  std::vector<u8> len;    // 0 = symbol absent
+
+  /// Build length-limited canonical codes from symbol frequencies.
+  /// Throws on an all-zero histogram.
+  static huffman_codebook build(std::span<const u32> freq);
+
+  /// Average code length in bits under `freq` (the entropy-coder's
+  /// achieved rate; used by tests and the ablation bench).
+  [[nodiscard]] f64 expected_bits(std::span<const u32> freq) const;
+};
+
+/// Encode `codes` (symbols < nbins) given their histogram. Returns a
+/// self-contained blob.
+[[nodiscard]] std::vector<u8> huffman_encode(std::span<const u16> codes,
+                                             std::span<const u32> hist);
+
+/// Decode a blob produced by huffman_encode. Returns the symbol count
+/// decoded into `out` (out must be presized to the original count, which
+/// callers know from the pipeline header).
+void huffman_decode(std::span<const u8> blob, std::span<u16> out);
+
+/// Number of symbols stored in a blob (for callers sizing `out`).
+[[nodiscard]] u64 huffman_decoded_count(std::span<const u8> blob);
+
+}  // namespace fzmod::encoders

@@ -1,0 +1,112 @@
+// FZModules — bitshuffle (bit-plane transpose) kernel.
+//
+// FZ-GPU's key lossless trick: after dual-quantized Lorenzo, quantization
+// codes are small integers, so their high bit-planes are almost entirely
+// zero. Transposing tiles of codes into bit-plane order turns "many small
+// values" into "long runs of zero machine words", which the dictionary
+// stage then eliminates with a bitmap.
+//
+// Layout: input is u16 symbols processed in tiles of 512. Each tile emits
+// 16 bit-planes of 512 bits = 16 x 16 u32 words, plane-major. A partial
+// final tile is zero-padded (decoder truncates by total count).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::kernels {
+
+inline constexpr std::size_t bitshuffle_tile = 512;       // symbols per tile
+inline constexpr std::size_t bitshuffle_words_per_plane =
+    bitshuffle_tile / 32;                                 // 16
+inline constexpr std::size_t bitshuffle_words_per_tile =
+    16 * bitshuffle_words_per_plane;                      // 256 u32
+
+[[nodiscard]] constexpr std::size_t bitshuffle_tiles(std::size_t n) {
+  return (n + bitshuffle_tile - 1) / bitshuffle_tile;
+}
+
+[[nodiscard]] constexpr std::size_t bitshuffle_words(std::size_t n) {
+  return bitshuffle_tiles(n) * bitshuffle_words_per_tile;
+}
+
+/// Host-side single tile forward shuffle (also used by the fused FZ-GPU
+/// baseline so the modular and fused paths share one proven core).
+inline void bitshuffle_tile_fwd(const u16* in, std::size_t count, u32* out) {
+  std::memset(out, 0, bitshuffle_words_per_tile * sizeof(u32));
+  for (std::size_t i = 0; i < count; ++i) {
+    const u16 v = in[i];
+    if (v == 0) continue;
+    const std::size_t word = i >> 5;   // which u32 within a plane
+    const u32 bit = u32{1} << (i & 31);
+    u16 rest = v;
+    while (rest) {
+      const int plane = std::countr_zero(static_cast<u32>(rest));
+      out[static_cast<std::size_t>(plane) * bitshuffle_words_per_plane +
+          word] |= bit;
+      rest = static_cast<u16>(rest & (rest - 1));
+    }
+  }
+}
+
+/// Host-side single tile inverse shuffle.
+inline void bitshuffle_tile_inv(const u32* in, std::size_t count, u16* out) {
+  std::memset(out, 0, count * sizeof(u16));
+  for (int plane = 0; plane < 16; ++plane) {
+    const u32* row = in + static_cast<std::size_t>(plane) *
+                              bitshuffle_words_per_plane;
+    const u16 pbit = static_cast<u16>(1u << plane);
+    for (std::size_t w = 0; w < bitshuffle_words_per_plane; ++w) {
+      u32 bits = row[w];
+      while (bits) {
+        const std::size_t i = (w << 5) + std::countr_zero(bits);
+        if (i < count) out[i] = static_cast<u16>(out[i] | pbit);
+        bits &= bits - 1;
+      }
+    }
+  }
+}
+
+/// Device kernel: shuffle all tiles of `codes` into `planes`
+/// (bitshuffle_words(codes.size()) u32 long).
+inline void bitshuffle_fwd_async(const device::buffer<u16>& codes,
+                                 device::buffer<u32>& planes,
+                                 device::stream& s) {
+  codes.assert_space(device::space::device);
+  planes.assert_space(device::space::device);
+  const u16* in = codes.data();
+  const std::size_t n = codes.size();
+  u32* out = planes.data();
+  device::launch_blocks(
+      s, bitshuffle_tiles(n), 1, [in, n, out](std::size_t t, std::size_t,
+                                              std::size_t) {
+        const std::size_t base = t * bitshuffle_tile;
+        const std::size_t count = std::min(bitshuffle_tile, n - base);
+        bitshuffle_tile_fwd(in + base, count,
+                            out + t * bitshuffle_words_per_tile);
+      });
+}
+
+/// Device kernel: inverse of bitshuffle_fwd_async.
+inline void bitshuffle_inv_async(const device::buffer<u32>& planes,
+                                 device::buffer<u16>& codes,
+                                 device::stream& s) {
+  planes.assert_space(device::space::device);
+  codes.assert_space(device::space::device);
+  const u32* in = planes.data();
+  u16* out = codes.data();
+  const std::size_t n = codes.size();
+  device::launch_blocks(
+      s, bitshuffle_tiles(n), 1, [in, n, out](std::size_t t, std::size_t,
+                                              std::size_t) {
+        const std::size_t base = t * bitshuffle_tile;
+        const std::size_t count = std::min(bitshuffle_tile, n - base);
+        bitshuffle_tile_inv(in + t * bitshuffle_words_per_tile, count,
+                            out + base);
+      });
+}
+
+}  // namespace fzmod::kernels

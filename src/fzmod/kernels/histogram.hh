@@ -1,0 +1,147 @@
+// FZModules — histogram kernels feeding the Huffman encoder.
+//
+// The paper (§3.2) calls out that modules may need "GPU-accelerated data
+// analysis" and supports two interchangeable histogram modules:
+//
+//  - `standard`: classic privatized histogram — each block counts into a
+//    block-local array, then the partials are reduced.
+//  - `top-k`: a sparsity-aware variant that first identifies the k most
+//    frequent symbols from a sample, counts those on a dedicated fast path
+//    (contiguous counters, no scatter), and routes the remaining cold
+//    symbols through the standard path. It wins when the code distribution
+//    is highly concentrated — which better predictors (the spline
+//    interpolator) produce, hence FZMod-Quality pairs spline + top-k.
+//
+// Both produce the exact same counts; only the work distribution differs.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::kernels {
+
+enum class histogram_kind : u8 { standard = 0, topk = 1 };
+
+[[nodiscard]] inline const char* to_string(histogram_kind k) {
+  return k == histogram_kind::standard ? "hist-standard" : "hist-topk";
+}
+
+/// Standard privatized histogram of u16 symbols into `nbins` counters.
+/// Symbols >= nbins are a caller bug (quantizer radius bounds them).
+inline void histogram_async(const device::buffer<u16>& codes,
+                            device::buffer<u32>& bins, device::stream& s) {
+  codes.assert_space(device::space::device);
+  bins.assert_space(device::space::device);
+  const u16* in = codes.data();
+  const std::size_t n = codes.size();
+  u32* out = bins.data();
+  const std::size_t nbins = bins.size();
+  s.enqueue([in, n, out, nbins] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t block = rt.default_block() * 4;
+    const std::size_t nblocks = n ? (n + block - 1) / block : 0;
+    std::fill(out, out + nbins, 0u);
+    std::mutex merge_mu;
+    rt.pool().parallel_for(nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+      std::vector<u32> local(nbins, 0);
+      for (std::size_t b = blo; b < bhi; ++b) {
+        const std::size_t end = std::min(n, (b + 1) * block);
+        for (std::size_t i = b * block; i < end; ++i) local[in[i]]++;
+      }
+      std::lock_guard lk(merge_mu);
+      for (std::size_t k = 0; k < nbins; ++k) out[k] += local[k];
+    });
+  });
+}
+
+/// Top-k histogram: sample ~1% of the input to nominate the k hottest
+/// symbols, count those via a tiny direct-mapped table (the fast path a GPU
+/// would keep in registers/shared memory), and fall back to privatized
+/// bins for everything else. Output counts are exact.
+inline void histogram_topk_async(const device::buffer<u16>& codes,
+                                 device::buffer<u32>& bins,
+                                 device::stream& s, u32 k = 8) {
+  codes.assert_space(device::space::device);
+  bins.assert_space(device::space::device);
+  const u16* in = codes.data();
+  const std::size_t n = codes.size();
+  u32* out = bins.data();
+  const std::size_t nbins = bins.size();
+  s.enqueue([in, n, out, nbins, k = std::min(k, 16u)] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    std::fill(out, out + nbins, 0u);
+    if (n == 0) return;
+
+    // Phase 1: nominate candidates from a strided sample.
+    std::vector<u32> sample_counts(nbins, 0);
+    const std::size_t stride = std::max<std::size_t>(1, n / 65536);
+    for (std::size_t i = 0; i < n; i += stride) sample_counts[in[i]]++;
+    std::vector<u16> hot;
+    hot.reserve(k);
+    for (u32 kk = 0; kk < k; ++kk) {
+      const auto it =
+          std::max_element(sample_counts.begin(), sample_counts.end());
+      if (*it == 0) break;
+      hot.push_back(static_cast<u16>(it - sample_counts.begin()));
+      *it = 0;
+    }
+    // Direct-mapped lookup: symbol -> hot slot (or k = cold).
+    std::vector<u8> slot_of(nbins, static_cast<u8>(hot.size()));
+    for (std::size_t hk = 0; hk < hot.size(); ++hk) {
+      slot_of[hot[hk]] = static_cast<u8>(hk);
+    }
+
+    // Phase 2: exact counting. Hot symbols hit a handful of contiguous
+    // counters — on a GPU these live in registers/shared memory and dodge
+    // the global-atomic contention that throttles the standard histogram
+    // on heavily repeating inputs (the effect cuSZ-i exploits). On this
+    // CPU substrate there is no atomic contention, so the module is at
+    // parity on concentrated inputs and slower on dispersed ones (where
+    // it should not be selected anyway — see bench_ablation_histogram);
+    // the structural difference and the concentration-based selection
+    // criterion are what carry over.
+    const std::size_t block = rt.default_block() * 4;
+    const std::size_t nblocks = (n + block - 1) / block;
+    std::mutex merge_mu;
+    rt.pool().parallel_for(nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+      std::array<u32, 16> hot_counts{};
+      std::vector<u32> cold(nbins, 0);
+      for (std::size_t b = blo; b < bhi; ++b) {
+        const std::size_t end = std::min(n, (b + 1) * block);
+        for (std::size_t i = b * block; i < end; ++i) {
+          const u16 sym = in[i];
+          const u8 slot = slot_of[sym];
+          if (slot < hot.size()) {
+            hot_counts[slot]++;
+          } else {
+            cold[sym]++;
+          }
+        }
+      }
+      std::lock_guard lk(merge_mu);
+      for (std::size_t hk = 0; hk < hot.size(); ++hk) {
+        out[hot[hk]] += hot_counts[hk];
+      }
+      for (std::size_t sym = 0; sym < nbins; ++sym) out[sym] += cold[sym];
+    });
+  });
+}
+
+/// Dispatch by module kind (pipeline composition uses this).
+inline void histogram_dispatch_async(histogram_kind kind,
+                                     const device::buffer<u16>& codes,
+                                     device::buffer<u32>& bins,
+                                     device::stream& s) {
+  if (kind == histogram_kind::topk) {
+    histogram_topk_async(codes, bins, s);
+  } else {
+    histogram_async(codes, bins, s);
+  }
+}
+
+}  // namespace fzmod::kernels

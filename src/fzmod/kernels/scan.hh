@@ -1,0 +1,147 @@
+// FZModules — prefix-scan kernels.
+//
+// Two roles in the framework:
+//  - exclusive scans over per-block compressed sizes (stream compaction of
+//    variable-length encoder output — Huffman chunks, FZG tiles, cuSZp2
+//    blocks all need it);
+//  - inclusive scans over quantization deltas, which is exactly the inverse
+//    of the Lorenzo transform (decompression runs one scan per dimension).
+//
+// The device form is the classic two-pass block scan: per-block local scan
+// + block totals, scan of totals, then a uniform add.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::kernels {
+
+/// Host exclusive scan (tiny inputs: segment tables, block offsets).
+template <class T>
+void exclusive_scan_host(std::span<const T> in, std::span<T> out) {
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc = static_cast<T>(acc + in[i]);
+  }
+}
+
+/// Device-side exclusive scan; returns the grand total via `*total` when
+/// the stream op completes.
+template <class T>
+void exclusive_scan_async(const device::buffer<T>& in, device::buffer<T>& out,
+                          T* total, device::stream& s) {
+  in.assert_space(device::space::device);
+  out.assert_space(device::space::device);
+  const T* src = in.data();
+  T* dst = out.data();
+  const std::size_t n = in.size();
+  s.enqueue([src, dst, n, total] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t block = rt.default_block();
+    const std::size_t nblocks = n ? (n + block - 1) / block : 0;
+    std::vector<T> block_totals(nblocks);
+    // Pass 1: local exclusive scan per block, record block totals.
+    rt.pool().parallel_for(nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t b = blo; b < bhi; ++b) {
+        const std::size_t end = std::min(n, (b + 1) * block);
+        T acc{};
+        for (std::size_t i = b * block; i < end; ++i) {
+          dst[i] = acc;
+          acc = static_cast<T>(acc + src[i]);
+        }
+        block_totals[b] = acc;
+      }
+    });
+    // Scan of block totals (small, sequential).
+    T acc{};
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const T t = block_totals[b];
+      block_totals[b] = acc;
+      acc = static_cast<T>(acc + t);
+    }
+    if (total) *total = acc;
+    // Pass 2: uniform add.
+    rt.pool().parallel_for(nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t b = blo; b < bhi; ++b) {
+        const T offset = block_totals[b];
+        const std::size_t end = std::min(n, (b + 1) * block);
+        for (std::size_t i = b * block; i < end; ++i) {
+          dst[i] = static_cast<T>(dst[i] + offset);
+        }
+      }
+    });
+  });
+}
+
+/// Inclusive scan along the x (contiguous) dimension of a `dims`-shaped
+/// i32 field: out[i] = sum of in[row start .. i]. Rows are independent,
+/// so parallelism is across y*z lines. This is the 1-D Lorenzo inverse.
+inline void inclusive_scan_rows_async(device::buffer<i32>& data, dims3 dims,
+                                      device::stream& s) {
+  data.assert_space(device::space::device);
+  i32* p = data.data();
+  s.enqueue([p, dims] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t nrows = dims.y * dims.z;
+    rt.pool().parallel_for(nrows, 4, [&](std::size_t rlo, std::size_t rhi) {
+      for (std::size_t r = rlo; r < rhi; ++r) {
+        i32* row = p + r * dims.x;
+        i32 acc = 0;
+        for (std::size_t i = 0; i < dims.x; ++i) {
+          acc += row[i];
+          row[i] = acc;
+        }
+      }
+    });
+  });
+}
+
+/// Inclusive scan along y: out(x,y,z) = sum_{j<=y} in(x,j,z). Columns are
+/// independent; iterate y outer / x inner for contiguous access.
+inline void inclusive_scan_cols_async(device::buffer<i32>& data, dims3 dims,
+                                      device::stream& s) {
+  data.assert_space(device::space::device);
+  i32* p = data.data();
+  s.enqueue([p, dims] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    rt.pool().parallel_for(dims.z, 1, [&](std::size_t zlo, std::size_t zhi) {
+      for (std::size_t z = zlo; z < zhi; ++z) {
+        i32* plane = p + z * dims.x * dims.y;
+        for (std::size_t y = 1; y < dims.y; ++y) {
+          i32* cur = plane + y * dims.x;
+          const i32* prev = cur - dims.x;
+          for (std::size_t x = 0; x < dims.x; ++x) cur[x] += prev[x];
+        }
+      }
+    });
+  });
+}
+
+/// Inclusive scan along z: out(x,y,z) = sum_{k<=z} in(x,y,k).
+inline void inclusive_scan_slices_async(device::buffer<i32>& data, dims3 dims,
+                                        device::stream& s) {
+  data.assert_space(device::space::device);
+  i32* p = data.data();
+  s.enqueue([p, dims] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t plane = dims.x * dims.y;
+    rt.pool().parallel_for(dims.y, 1, [&](std::size_t ylo, std::size_t yhi) {
+      for (std::size_t y = ylo; y < yhi; ++y) {
+        for (std::size_t z = 1; z < dims.z; ++z) {
+          i32* cur = p + z * plane + y * dims.x;
+          const i32* prev = cur - plane;
+          for (std::size_t x = 0; x < dims.x; ++x) cur[x] += prev[x];
+        }
+      }
+    });
+  });
+}
+
+}  // namespace fzmod::kernels

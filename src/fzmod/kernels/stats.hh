@@ -1,0 +1,73 @@
+// FZModules — data-statistics kernels (preprocessing stage support).
+//
+// The paper's preprocessing stage exists mainly to resolve value-range
+// relative error bounds: rel-eb needs the field's min/max before the
+// predictor can quantize. These are classic two-level reductions: each
+// block reduces privately, then a host-side (trivially small) combine.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::kernels {
+
+template <class T>
+struct minmax_result {
+  T min = std::numeric_limits<T>::max();
+  T max = std::numeric_limits<T>::lowest();
+  [[nodiscard]] f64 range() const {
+    return static_cast<f64>(max) - static_cast<f64>(min);
+  }
+};
+
+/// Block-parallel min/max reduction over a device buffer. Synchronous with
+/// respect to `s` completing; the result lands in `*out` (host memory)
+/// when the stream op runs.
+template <class T>
+void minmax_async(const device::buffer<T>& in, minmax_result<T>* out,
+                  device::stream& s) {
+  in.assert_space(device::space::device);
+  const T* p = in.data();
+  const std::size_t n = in.size();
+  s.enqueue([p, n, out] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t block = rt.default_block();
+    const std::size_t nblocks = n ? (n + block - 1) / block : 0;
+    std::vector<minmax_result<T>> partial(nblocks);
+    rt.pool().parallel_for(nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t b = blo; b < bhi; ++b) {
+        T lo = std::numeric_limits<T>::max();
+        T hi = std::numeric_limits<T>::lowest();
+        const std::size_t end = std::min(n, (b + 1) * block);
+        for (std::size_t i = b * block; i < end; ++i) {
+          lo = std::min(lo, p[i]);
+          hi = std::max(hi, p[i]);
+        }
+        partial[b] = {lo, hi};
+      }
+    });
+    minmax_result<T> r;
+    for (const auto& pr : partial) {
+      r.min = std::min(r.min, pr.min);
+      r.max = std::max(r.max, pr.max);
+    }
+    *out = r;
+  });
+}
+
+/// Host-side convenience (used by CPU baselines and tests).
+template <class T>
+[[nodiscard]] minmax_result<T> minmax_host(std::span<const T> in) {
+  minmax_result<T> r;
+  for (const T v : in) {
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  }
+  return r;
+}
+
+}  // namespace fzmod::kernels

@@ -1,0 +1,83 @@
+#include "fzmod/metrics/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fzmod/common/error.hh"
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::metrics {
+namespace {
+
+template <class T>
+error_stats compare_impl(std::span<const T> a, std::span<const T> b) {
+  FZMOD_REQUIRE(a.size() == b.size(), status::invalid_argument,
+                "metrics: size mismatch");
+  const std::size_t n = a.size();
+  if (n == 0) return {};
+
+  struct partial {
+    f64 max_err = 0;
+    f64 sq_sum = 0;
+    f64 lo = std::numeric_limits<f64>::max();
+    f64 hi = std::numeric_limits<f64>::lowest();
+  };
+  auto& pool = device::runtime::instance().pool();
+  const std::size_t block = 1u << 16;
+  const std::size_t nblocks = (n + block - 1) / block;
+  std::vector<partial> parts(nblocks);
+  pool.parallel_for(nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+    for (std::size_t bk = blo; bk < bhi; ++bk) {
+      partial p;
+      const std::size_t end = std::min(n, (bk + 1) * block);
+      for (std::size_t i = bk * block; i < end; ++i) {
+        const f64 x = static_cast<f64>(a[i]);
+        const f64 d = x - static_cast<f64>(b[i]);
+        p.max_err = std::max(p.max_err, std::fabs(d));
+        p.sq_sum += d * d;
+        p.lo = std::min(p.lo, x);
+        p.hi = std::max(p.hi, x);
+      }
+      parts[bk] = p;
+    }
+  });
+  partial total;
+  for (const auto& p : parts) {
+    total.max_err = std::max(total.max_err, p.max_err);
+    total.sq_sum += p.sq_sum;
+    total.lo = std::min(total.lo, p.lo);
+    total.hi = std::max(total.hi, p.hi);
+  }
+
+  error_stats st;
+  st.max_abs_err = total.max_err;
+  st.mse = total.sq_sum / static_cast<f64>(n);
+  st.range = total.hi - total.lo;
+  if (st.mse == 0) {
+    st.psnr = std::numeric_limits<f64>::infinity();
+    st.nrmse = 0;
+  } else if (st.range > 0) {
+    st.psnr = 20.0 * std::log10(st.range) - 10.0 * std::log10(st.mse);
+    st.nrmse = std::sqrt(st.mse) / st.range;
+  } else {
+    st.psnr = -10.0 * std::log10(st.mse);
+    st.nrmse = std::sqrt(st.mse);
+  }
+  return st;
+}
+
+}  // namespace
+
+error_stats compare(std::span<const f32> original,
+                    std::span<const f32> reconstructed) {
+  return compare_impl(original, reconstructed);
+}
+
+error_stats compare(std::span<const f64> original,
+                    std::span<const f64> reconstructed) {
+  return compare_impl(original, reconstructed);
+}
+
+}  // namespace fzmod::metrics

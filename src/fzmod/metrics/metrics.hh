@@ -1,0 +1,66 @@
+// FZModules — evaluation metrics (paper §4.2).
+//
+//  - compression ratio: input bytes / archive bytes;
+//  - bit rate: average bits per input value (rate-distortion x-axis);
+//  - PSNR over the value range (rate-distortion y-axis);
+//  - max pointwise error (error-bound verification);
+//  - overall speedup, Eq. (1) of the paper: the end-to-end improvement a
+//    compressor provides when shipping data across a medium of bandwidth
+//    BW, combining CR and compression throughput.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::metrics {
+
+struct error_stats {
+  f64 max_abs_err = 0;
+  f64 mse = 0;
+  f64 psnr = 0;       // dB, vs the original value range
+  f64 nrmse = 0;      // RMSE / range
+  f64 range = 0;
+};
+
+/// Full-field comparison of original vs reconstructed.
+[[nodiscard]] error_stats compare(std::span<const f32> original,
+                                  std::span<const f32> reconstructed);
+[[nodiscard]] error_stats compare(std::span<const f64> original,
+                                  std::span<const f64> reconstructed);
+
+[[nodiscard]] inline f64 compression_ratio(u64 input_bytes,
+                                           u64 archive_bytes) {
+  return archive_bytes ? static_cast<f64>(input_bytes) /
+                             static_cast<f64>(archive_bytes)
+                       : 0.0;
+}
+
+/// Bits per value for a compressed archive of an n-element field.
+[[nodiscard]] inline f64 bit_rate(u64 archive_bytes, u64 n_values) {
+  return n_values ? 8.0 * static_cast<f64>(archive_bytes) /
+                        static_cast<f64>(n_values)
+                  : 0.0;
+}
+
+/// Overall speedup (Eq. 1): 1 / (((BW*CR)^-1 + T^-1) * BW), where T is
+/// compression throughput and BW the transfer bandwidth, all in GB/s.
+/// Values > 1 mean compressing-then-sending beats sending raw.
+[[nodiscard]] inline f64 overall_speedup(f64 bw_gbps, f64 cr,
+                                         f64 throughput_gbps) {
+  if (bw_gbps <= 0 || cr <= 0 || throughput_gbps <= 0) return 0;
+  return 1.0 / ((1.0 / (bw_gbps * cr) + 1.0 / throughput_gbps) * bw_gbps);
+}
+
+/// Error-bound acceptance threshold for f32 data: the compressors
+/// guarantee |x - x̂| <= bound in real arithmetic; storing x̂ as f32 can
+/// add up to half an ulp of the value's magnitude (2^-24 relative). This
+/// returns bound plus that storage slack, the threshold verification
+/// should compare max_abs_err against.
+[[nodiscard]] inline f64 f32_bound_slack(f64 bound, f64 max_abs_value) {
+  return bound + std::ldexp(std::max(max_abs_value, 0.0), -23);
+}
+
+}  // namespace fzmod::metrics

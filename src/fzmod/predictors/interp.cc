@@ -1,0 +1,280 @@
+#include "fzmod/predictors/interp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace fzmod::predictors {
+namespace {
+
+/// Count of lattice points {0, m, 2m, ...} inside [0, ext).
+[[nodiscard]] std::size_t lattice_count(std::size_t ext, std::size_t m) {
+  return (ext - 1) / m + 1;
+}
+
+/// Count of odd multiples of h ({h, 3h, 5h, ...}) inside [0, ext).
+[[nodiscard]] std::size_t odd_count(std::size_t ext, std::size_t h) {
+  return ext > h ? (ext - h - 1) / (2 * h) + 1 : 0;
+}
+
+/// Cubic (fallback linear / nearest) interpolation along one axis of the
+/// evolving reconstruction. `c` is the target coordinate, `h` the current
+/// half-spacing, `stride` the element stride of the axis, `ext` its extent.
+/// Neighbours at c±h and c±3h are even multiples of h, hence already
+/// reconstructed; c-h >= 0 always holds because targets start at h.
+[[nodiscard]] f64 interp_1d(const f64* rec, std::size_t base_idx,
+                            std::size_t c, std::size_t h, std::size_t stride,
+                            std::size_t ext) {
+  const f64 a = rec[base_idx - h * stride];
+  if (c + h >= ext) return a;
+  const f64 b = rec[base_idx + h * stride];
+  if (c >= 3 * h && c + 3 * h < ext) {
+    const f64 a2 = rec[base_idx - 3 * h * stride];
+    const f64 b2 = rec[base_idx + 3 * h * stride];
+    return (-a2 + 9.0 * a + 9.0 * b - b2) * (1.0 / 16.0);
+  }
+  return 0.5 * (a + b);
+}
+
+/// Walk every (level, dimension) sub-step coarse-to-fine, invoking
+/// `visit(linear_index, prediction)` for each target point exactly once.
+/// Both compression and decompression run this identical traversal, so a
+/// prediction mismatch between the two sides is structurally impossible.
+///
+/// `visit` is called concurrently from pool workers; it must write
+/// rec[idx] before returning and synchronize any side channels itself.
+template <class Visit>
+void traverse(dims3 d, const f64* rec, Visit&& visit) {
+  auto& rt = device::runtime::instance();
+  const std::size_t ext[3] = {d.x, d.y, d.z};
+  const std::size_t stride[3] = {1, d.x, d.x * d.y};
+  const int rank = d.rank();
+
+  int top_level = 0;
+  while ((std::size_t{1} << (top_level + 1)) <= interp_anchor_stride) {
+    ++top_level;
+  }
+
+  for (int l = top_level; l >= 1; --l) {
+    const std::size_t s = std::size_t{1} << l;
+    const std::size_t h = s >> 1;
+    // Sub-step order: slowest dimension first (z, y, x), matching cuSZ-i.
+    for (int di = rank - 1; di >= 0; --di) {
+      // Lattice spacing per axis for this sub-step: the refined axis takes
+      // odd multiples of h; axes already processed this level sit on the h
+      // lattice; axes still pending sit on the s lattice.
+      std::size_t count[3] = {1, 1, 1};
+      std::size_t spacing[3] = {0, 0, 0};
+      for (int dj = 0; dj < 3; ++dj) {
+        if (dj == di) {
+          spacing[dj] = 2 * h;  // offset h applied below
+          count[dj] = odd_count(ext[dj], h);
+        } else if (dj > di) {
+          spacing[dj] = h;
+          count[dj] = lattice_count(ext[dj], h);
+        } else {
+          spacing[dj] = s;
+          count[dj] = lattice_count(ext[dj], s);
+        }
+      }
+      const std::size_t total = count[0] * count[1] * count[2];
+      if (total == 0) continue;
+      rt.stats().kernels_launched += 1;
+      rt.pool().parallel_for(
+          total, 1u << 12, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t t = lo; t < hi; ++t) {
+              const std::size_t t0 = t % count[0];
+              const std::size_t t1 = (t / count[0]) % count[1];
+              const std::size_t t2 = t / (count[0] * count[1]);
+              std::size_t coord[3] = {t0 * spacing[0], t1 * spacing[1],
+                                      t2 * spacing[2]};
+              coord[di] += h;
+              const std::size_t idx = coord[0] * stride[0] +
+                                      coord[1] * stride[1] +
+                                      coord[2] * stride[2];
+              const f64 pred = interp_1d(rec, idx, coord[di], h,
+                                         stride[di], ext[di]);
+              visit(idx, pred);
+            }
+          });
+    }
+  }
+}
+
+/// Enumerate anchor-lattice points (all coords multiples of the stride) in
+/// row-major anchor order; returns linear field indices.
+void for_each_anchor(dims3 d, std::size_t stride,
+                     const std::function<void(std::size_t)>& fn) {
+  for (std::size_t z = 0; z < d.z; z += stride) {
+    for (std::size_t y = 0; y < d.y; y += stride) {
+      for (std::size_t x = 0; x < d.x; x += stride) {
+        fn(d.at(x, y, z));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+void interp_compress_async(const device::buffer<T>& data, dims3 dims,
+                           f64 ebx2, int radius, quant_field& out,
+                           interp_anchors& anchors, device::stream& s) {
+  data.assert_space(device::space::device);
+  FZMOD_REQUIRE(data.size() == dims.len(), status::invalid_argument,
+                "interp: data size does not match dims");
+  FZMOD_REQUIRE(ebx2 > 0, status::invalid_argument,
+                "interp: error bound must be positive");
+
+  const std::size_t n = dims.len();
+  out.dims = dims;
+  out.radius = radius;
+  out.ebx2 = ebx2;
+  out.codes = device::buffer<u16>(n, device::space::device);
+  out.value_outliers.clear();
+  anchors.stride = interp_anchor_stride;
+  anchors.lattice.clear();
+
+  const T* in = data.data();
+  u16* codes = out.codes.data();
+
+  device::host_task(s, [in, codes, dims, ebx2, radius, n, &out, &anchors] {
+    const f64 r_ebx2 = 1.0 / ebx2;
+    std::vector<f64> rec(n, 0.0);
+    std::memset(codes, 0, n * sizeof(u16));
+
+    // Anchors: snap to the quantization lattice (error <= eb) and record.
+    for_each_anchor(dims, anchors.stride, [&](std::size_t idx) {
+      const f64 x = static_cast<f64>(in[idx]);
+      const f64 scaled = x * r_ebx2;
+      if (!(std::fabs(scaled) < static_cast<f64>(value_outlier_limit))) {
+        out.value_outliers.emplace_back(idx, x);
+        rec[idx] = x;
+        anchors.lattice.push_back(0);
+      } else {
+        const i64 q = std::llrint(scaled);
+        rec[idx] = static_cast<f64>(q) * ebx2;
+        anchors.lattice.push_back(static_cast<i32>(q));
+      }
+    });
+
+    // Predicted points: quantize the prediction error, reconstruct
+    // immediately so finer levels predict from bounded values.
+    std::mutex side_mu;
+    std::vector<kernels::outlier> outliers;
+    traverse(dims, rec.data(), [&](std::size_t idx, f64 pred) {
+      const f64 x = static_cast<f64>(in[idx]);
+      const f64 scaled = x * r_ebx2;
+      if (!(std::fabs(scaled) < static_cast<f64>(value_outlier_limit))) {
+        // Magnitude beyond the safe lattice: keep raw (exact), sentinel 0.
+        std::lock_guard lk(side_mu);
+        out.value_outliers.emplace_back(idx, x);
+        rec[idx] = x;
+        return;
+      }
+      const i64 c = std::llrint((x - pred) * r_ebx2);
+      if (c > -radius && c < radius) {
+        codes[idx] = static_cast<u16>(c + radius);
+        rec[idx] = pred + static_cast<f64>(c) * ebx2;
+      } else {
+        // Prediction failed: fall back to lattice-exact storage.
+        const i64 q = std::llrint(scaled);
+        rec[idx] = static_cast<f64>(q) * ebx2;
+        std::lock_guard lk(side_mu);
+        outliers.push_back({static_cast<u64>(idx), q});
+      }
+    });
+
+    out.n_outliers = outliers.size();
+    out.outliers = device::buffer<kernels::outlier>(outliers.size(),
+                                                    device::space::device);
+    std::copy(outliers.begin(), outliers.end(), out.outliers.data());
+    device::runtime::instance().stats().h2d_bytes +=
+        outliers.size() * sizeof(kernels::outlier);
+  });
+}
+
+template <class T>
+void interp_decompress_async(const quant_field& field,
+                             const interp_anchors& anchors,
+                             device::buffer<T>& data, device::stream& s) {
+  data.assert_space(device::space::device);
+  const std::size_t n = field.dims.len();
+  FZMOD_REQUIRE(data.size() == n, status::invalid_argument,
+                "interp: output size does not match dims");
+  FZMOD_REQUIRE(field.ebx2 > 0, status::corrupt_archive,
+                "interp: archive has non-positive error bound");
+
+  T* outp = data.data();
+  device::host_task(s, [outp, &field, &anchors, n] {
+    const f64 ebx2 = field.ebx2;
+    const dims3 dims = field.dims;
+    const u16* codes = field.codes.data();
+    std::vector<f64> rec(n, 0.0);
+
+    // Scatter side channels up front so the traversal can resolve sentinel
+    // codes by direct lookup.
+    std::vector<i32> fallback(n, 0);
+    for (u64 k = 0; k < field.n_outliers; ++k) {
+      const auto& o = field.outliers.data()[k];
+      FZMOD_REQUIRE(o.index < n, status::corrupt_archive,
+                    "interp: outlier index out of range");
+      fallback[o.index] = static_cast<i32>(o.value);
+    }
+    std::unordered_map<u64, f64> raw;
+    raw.reserve(field.value_outliers.size());
+    for (const auto& [idx, val] : field.value_outliers) {
+      FZMOD_REQUIRE(idx < n, status::corrupt_archive,
+                    "interp: value outlier index out of range");
+      raw.emplace(idx, val);
+    }
+
+    // Anchors.
+    std::size_t a = 0;
+    for_each_anchor(dims, anchors.stride, [&](std::size_t idx) {
+      FZMOD_REQUIRE(a < anchors.lattice.size(), status::corrupt_archive,
+                    "interp: anchor payload truncated");
+      if (auto it = raw.find(idx); it != raw.end()) {
+        rec[idx] = it->second;
+      } else {
+        rec[idx] = static_cast<f64>(anchors.lattice[a]) * ebx2;
+      }
+      ++a;
+    });
+
+    const int radius = field.radius;
+    traverse(dims, rec.data(), [&](std::size_t idx, f64 pred) {
+      const u16 c = codes[idx];
+      if (c != 0) {
+        rec[idx] = pred + static_cast<f64>(static_cast<i32>(c) - radius) *
+                              ebx2;
+      } else if (auto it = raw.find(idx); it != raw.end()) {
+        rec[idx] = it->second;
+      } else {
+        rec[idx] = static_cast<f64>(fallback[idx]) * ebx2;
+      }
+    });
+
+    for (std::size_t i = 0; i < n; ++i) outp[i] = static_cast<T>(rec[i]);
+  });
+}
+
+template void interp_compress_async<f32>(const device::buffer<f32>&, dims3,
+                                         f64, int, quant_field&,
+                                         interp_anchors&, device::stream&);
+template void interp_compress_async<f64>(const device::buffer<f64>&, dims3,
+                                         f64, int, quant_field&,
+                                         interp_anchors&, device::stream&);
+template void interp_decompress_async<f32>(const quant_field&,
+                                           const interp_anchors&,
+                                           device::buffer<f32>&,
+                                           device::stream&);
+template void interp_decompress_async<f64>(const quant_field&,
+                                           const interp_anchors&,
+                                           device::buffer<f64>&,
+                                           device::stream&);
+
+}  // namespace fzmod::predictors

@@ -1,0 +1,314 @@
+// FZModules — sequential task flow (STF) library, the CUDASTF substitute.
+//
+// Programming model (mirrors CUDASTF, Augonnet et al., SC'24):
+//   - `logical_data<T>` is a handle to a datum that may have instances in
+//     host and/or device memory; validity is tracked per space (MSI-style).
+//   - A task declares its data accesses (`read` / `write` / `rw`) and an
+//     execution place. Submission order + declared accesses imply the
+//     dependency DAG: RAW (reader after last writer), WAR (writer after
+//     readers), WAW (writer after writer). Nothing else orders tasks.
+//   - The runtime schedules ready tasks onto the worker pool, inserts the
+//     host<->device transfers each task's accesses require, and invalidates
+//     stale instances after writes. Tasks with no path between them run
+//     concurrently — this is the "task-level concurrency for compression
+//     stages not data dependent on each other" the paper leverages (e.g.
+//     decompression scattering outliers on the device while the CPU decodes
+//     Huffman).
+//   - Task bodies receive a device::stream plus one device::buffer<T>& per
+//     declared dependency, so existing kernel modules drop in unchanged.
+//
+// `context::finalize()` drains the graph and rethrows the first task error.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::stf {
+
+enum class access : u8 { read, write, rw };
+enum class place : u8 { host, device };
+
+namespace detail {
+
+struct task_node {
+  std::string name;
+  std::function<void()> run;
+  int pending = 0;
+  bool done = false;
+  std::vector<std::shared_ptr<task_node>> successors;
+};
+
+/// Untyped dependency-tracking state per logical datum (graph building is
+/// single-threaded; the context lock covers completion propagation).
+struct node_base {
+  std::shared_ptr<task_node> last_writer;
+  std::vector<std::shared_ptr<task_node>> readers_since_write;
+};
+
+template <class T>
+struct node : node_base {
+  explicit node(std::size_t n_) : n(n_) {}
+  std::size_t n;
+  device::buffer<T> host_inst;
+  device::buffer<T> dev_inst;
+  bool valid_host = false;
+  bool valid_dev = false;
+
+  /// Make the instance in `p` usable for access mode `m`, copying from the
+  /// other space when the task reads and the target instance is stale.
+  /// Runs inside the task (ordered by the DAG), so no locking is needed.
+  device::buffer<T>& prepare(access m, place p) {
+    auto& inst = p == place::host ? host_inst : dev_inst;
+    bool& valid = p == place::host ? valid_host : valid_dev;
+    bool& other_valid = p == place::host ? valid_dev : valid_host;
+    auto& other = p == place::host ? dev_inst : host_inst;
+    if (inst.size() != n) {
+      inst = device::buffer<T>(n, p == place::host ? device::space::host
+                                                   : device::space::device);
+    }
+    if (m != access::write && !valid) {
+      FZMOD_REQUIRE(other_valid, status::invalid_argument,
+                    "stf: task reads uninitialized logical data");
+      std::memcpy(inst.data(), other.data(), n * sizeof(T));
+      auto& st = device::runtime::instance().stats();
+      if (p == place::device) {
+        st.h2d_bytes += n * sizeof(T);
+      } else {
+        st.d2h_bytes += n * sizeof(T);
+      }
+    }
+    valid = true;
+    if (m != access::read) other_valid = false;
+    return inst;
+  }
+};
+
+}  // namespace detail
+
+template <class T>
+class logical_data;
+
+template <class T>
+struct dep {
+  logical_data<T>* ld;
+  access mode;
+};
+
+template <class T>
+[[nodiscard]] dep<T> read(logical_data<T>& l) {
+  return {&l, access::read};
+}
+template <class T>
+[[nodiscard]] dep<T> write(logical_data<T>& l) {
+  return {&l, access::write};
+}
+template <class T>
+[[nodiscard]] dep<T> rw(logical_data<T>& l) {
+  return {&l, access::rw};
+}
+
+class context;
+
+template <class T>
+class logical_data {
+ public:
+  logical_data() = default;
+
+  [[nodiscard]] std::size_t size() const { return node_ ? node_->n : 0; }
+
+  /// Host view after finalize() (or before any task touches it). Triggers
+  /// a D2H copy if the only valid instance is on the device.
+  [[nodiscard]] std::span<const T> fetch_host() {
+    auto& nd = *node_;
+    nd.prepare(access::read, place::host);
+    return nd.host_inst.span();
+  }
+
+ private:
+  friend class context;
+  explicit logical_data(std::shared_ptr<detail::node<T>> n)
+      : node_(std::move(n)) {}
+  std::shared_ptr<detail::node<T>> node_;
+};
+
+class context {
+ public:
+  context() = default;
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+
+  ~context() noexcept {
+    try {
+      finalize();
+    } catch (...) {
+      // finalize() already ran or the error was consumed elsewhere;
+      // destructors must not throw.
+    }
+  }
+
+  /// Fresh logical datum with no valid instance (first access must write).
+  template <class T>
+  [[nodiscard]] logical_data<T> make_data(std::size_t n) {
+    return logical_data<T>(std::make_shared<detail::node<T>>(n));
+  }
+
+  /// Logical datum initialized from host memory (copied).
+  template <class T>
+  [[nodiscard]] logical_data<T> import(std::span<const T> host) {
+    auto nd = std::make_shared<detail::node<T>>(host.size());
+    nd->host_inst = device::buffer<T>(host.size(), device::space::host);
+    std::memcpy(nd->host_inst.data(), host.data(), host.size_bytes());
+    nd->valid_host = true;
+    return logical_data<T>(std::move(nd));
+  }
+
+  /// Submit a task. `body` is invoked as
+  ///   body(device::stream&, device::buffer<Ts>&...)
+  /// with one buffer per dep, resident in `p`'s memory space and coherent
+  /// for the declared access mode. The task runs as soon as its inferred
+  /// dependencies complete.
+  template <class F, class... Ts>
+  void submit(std::string name, place p, F&& body, dep<Ts>... deps) {
+    auto t = std::make_shared<detail::task_node>();
+    t->name = std::move(name);
+    t->run = [this, p, body = std::forward<F>(body),
+              nodes = std::make_tuple(deps.ld->node_...),
+              modes = std::array<access, sizeof...(Ts)>{deps.mode...}]() {
+      device::stream s;
+      // Index sequence pins prepare() to its declared mode (argument
+      // evaluation order in a call is unspecified, so no running counter).
+      [&]<std::size_t... I>(std::index_sequence<I...>) {
+        body(s, std::get<I>(nodes)->prepare(modes[I], p)...);
+      }(std::make_index_sequence<sizeof...(Ts)>{});
+      s.sync();
+    };
+
+    std::vector<std::shared_ptr<detail::task_node>> preds;
+    std::vector<std::string> trace_deps;
+    auto add_pred = [&](const std::shared_ptr<detail::task_node>& pr) {
+      if (!pr) return;
+      // The logical edge exists (and is traced) even when the predecessor
+      // already completed; only the scheduling edge is skipped then.
+      trace_deps.push_back(pr->name);
+      if (!pr->done) preds.push_back(pr);
+    };
+    bool ready;
+    const u64 task_id = next_task_id_++;
+    t->name += "#" + std::to_string(task_id);
+    {
+      std::lock_guard lk(mu_);
+      (
+          [&] {
+            detail::node_base& nb = *deps.ld->node_;
+            if (deps.mode == access::read) {
+              add_pred(nb.last_writer);
+              nb.readers_since_write.push_back(t);
+            } else {
+              add_pred(nb.last_writer);
+              for (auto& r : nb.readers_since_write) add_pred(r);
+              nb.readers_since_write.clear();
+              nb.last_writer = t;
+            }
+          }(),
+          ...);
+      // Dedup predecessors so pending counts stay consistent.
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+      t->pending = static_cast<int>(preds.size());
+      for (auto& pr : preds) pr->successors.push_back(t);
+      ++inflight_;
+      // Record the inferred edges for dump_graphviz (debug tooling).
+      std::sort(trace_deps.begin(), trace_deps.end());
+      trace_deps.erase(std::unique(trace_deps.begin(), trace_deps.end()),
+                       trace_deps.end());
+      trace_.emplace_back(t->name, std::move(trace_deps));
+      // Decide readiness under the lock: once a predecessor link exists, a
+      // completing predecessor may enqueue t itself, and checking pending
+      // after unlocking would double-enqueue.
+      ready = preds.empty();
+    }
+    if (ready) enqueue(t);
+  }
+
+  /// Render the dependency graph the runtime inferred so far as Graphviz
+  /// DOT (one node per submitted task, one edge per inferred ordering).
+  /// Debug tooling: call any time; reflects submissions, not completion.
+  [[nodiscard]] std::string dump_graphviz() {
+    std::lock_guard lk(mu_);
+    std::string dot = "digraph stf {\n  rankdir=TB;\n";
+    for (const auto& [name, deps] : trace_) {
+      dot += "  \"" + name + "\";\n";
+      for (const auto& d : deps) {
+        dot += "  \"" + d + "\" -> \"" + name + "\";\n";
+      }
+    }
+    dot += "}\n";
+    return dot;
+  }
+
+  /// Drain the graph; rethrows the first task exception.
+  void finalize() {
+    std::unique_lock lk(mu_);
+    idle_cv_.wait(lk, [this] { return inflight_ == 0; });
+    if (first_error_) {
+      auto e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void enqueue(std::shared_ptr<detail::task_node> t) {
+    device::runtime::instance().pool().submit_detached([this, t] {
+      bool poisoned;
+      {
+        std::lock_guard lk(mu_);
+        poisoned = first_error_ != nullptr;
+      }
+      if (!poisoned) {
+        try {
+          t->run();
+        } catch (...) {
+          std::lock_guard lk(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+      std::vector<std::shared_ptr<detail::task_node>> ready;
+      {
+        std::lock_guard lk(mu_);
+        t->done = true;
+        for (auto& succ : t->successors) {
+          if (--succ->pending == 0) ready.push_back(succ);
+        }
+        // Break the ownership cycle (data node -> last_writer task ->
+        // run-closure -> data node): a completed task needs neither its
+        // closure nor its successor edges again.
+        t->run = nullptr;
+        t->successors.clear();
+        if (--inflight_ == 0) idle_cv_.notify_all();
+      }
+      for (auto& r : ready) enqueue(r);
+    });
+  }
+
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  int inflight_ = 0;
+  u64 next_task_id_ = 0;
+  std::exception_ptr first_error_ = nullptr;
+  std::vector<std::pair<std::string, std::vector<std::string>>> trace_;
+};
+
+}  // namespace fzmod::stf

@@ -1,0 +1,168 @@
+// Integration tests: archive-format invariants and the full module
+// compatibility matrix (every preprocessor x predictor x codec x
+// secondary combination must round-trip and be decodable by a fresh
+// process state).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace fzmod::core {
+namespace {
+
+std::vector<f32> positive_field(dims3 d) {
+  rng r(888);
+  std::vector<f32> v(d.len());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(
+        std::exp(std::sin(0.01 * static_cast<f64>(i)) * 2 +
+                 0.002 * r.normal()) +
+        1.0);
+  }
+  return v;
+}
+
+struct combo {
+  const char* preprocessor;
+  const char* predictor;
+  const char* codec;
+  bool secondary;
+};
+
+std::vector<combo> all_combos() {
+  std::vector<combo> out;
+  for (const char* pre :
+       {preprocess_none, preprocess_value_range, preprocess_log}) {
+    for (const char* pred : {predictor_lorenzo, predictor_spline}) {
+      for (const char* codec : {codec_huffman, codec_fzg, codec_flen}) {
+        for (const bool sec : {false, true}) {
+          out.push_back({pre, pred, codec, sec});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class ComboMatrix : public ::testing::TestWithParam<combo> {};
+
+TEST_P(ComboMatrix, RoundTripsAndSelfDescribes) {
+  const auto& c = GetParam();
+  const dims3 d{48, 24, 6};
+  const auto v = positive_field(d);  // positive: log-compatible
+
+  pipeline_config cfg;
+  cfg.preprocessor = c.preprocessor;
+  cfg.predictor = c.predictor;
+  cfg.codec = c.codec;
+  cfg.secondary = c.secondary;
+  cfg.eb = {1e-4, std::string_view(c.preprocessor) == preprocess_log
+                      ? eb_mode::abs
+                      : eb_mode::rel};
+  pipeline<f32> producer(cfg);
+  const auto archive = producer.compress(v, d);
+
+  const auto info = inspect_archive(archive);
+  EXPECT_EQ(info.preprocessor, c.preprocessor);
+  EXPECT_EQ(info.predictor, c.predictor);
+  EXPECT_EQ(info.codec, c.codec);
+  EXPECT_EQ(info.secondary, c.secondary);
+  EXPECT_EQ(info.dims, d);
+
+  // A pipeline with a *different* config decodes purely from the header.
+  pipeline<f32> consumer(pipeline_config::preset_speed({1, eb_mode::abs}));
+  const auto rec = consumer.decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  if (std::string_view(c.preprocessor) == preprocess_log) {
+    // Pointwise relative contract.
+    for (std::size_t i = 0; i < v.size(); i += 37) {
+      ASSERT_LT(std::fabs(rec[i] / v[i] - 1.0), 2.2e-4) << i;
+    }
+  } else {
+    EXPECT_LE(err.max_abs_err,
+              metrics::f32_bound_slack(1e-4 * err.range, err.range));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ComboMatrix, ::testing::ValuesIn(all_combos()),
+    [](const auto& info) {
+      std::string s = std::string(info.param.preprocessor) + "_" +
+                      info.param.predictor + "_" + info.param.codec +
+                      (info.param.secondary ? "_lz" : "");
+      for (auto& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s;
+    });
+
+TEST(ArchiveFormat, HeaderRejectsWrongVersionMagic) {
+  const dims3 d{100};
+  const auto v = positive_field(d);
+  pipeline<f32> p(pipeline_config{});
+  auto archive = p.compress(v, d);
+  // Outer magic at offset 0; inner magic right after the 8-byte outer
+  // header. Flip each and expect rejection.
+  auto bad_outer = archive;
+  bad_outer[0] ^= 0x01;
+  EXPECT_THROW((void)p.decompress(bad_outer), error);
+  auto bad_inner = archive;
+  bad_inner[8] ^= 0x01;
+  EXPECT_THROW((void)p.decompress(bad_inner), error);
+}
+
+TEST(ArchiveFormat, ArchiveSmallerThanRawForCompressibleData) {
+  const dims3 d{128, 64};
+  std::vector<f32> v(d.len());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.01 * static_cast<f64>(i)));
+  }
+  for (const char* codec : {codec_huffman, codec_fzg, codec_flen}) {
+    pipeline_config cfg;
+    cfg.codec = codec;
+    cfg.eb = {1e-4, eb_mode::rel};
+    pipeline<f32> p(cfg);
+    EXPECT_LT(p.compress(v, d).size(), v.size() * 4) << codec;
+  }
+}
+
+TEST(ArchiveFormat, DeterministicCompression) {
+  // Same input + config twice -> byte-identical archives (no hidden
+  // nondeterminism from the parallel runtime ends up in the format).
+  const dims3 d{64, 32, 4};
+  const auto v = positive_field(d);
+  for (const char* pred : {predictor_lorenzo, predictor_spline}) {
+    pipeline_config cfg;
+    cfg.predictor = pred;
+    cfg.eb = {1e-4, eb_mode::rel};
+    pipeline<f32> p(cfg);
+    const auto a = p.compress(v, d);
+    const auto b = p.compress(v, d);
+    ASSERT_EQ(a.size(), b.size()) << pred;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << pred;
+  }
+}
+
+TEST(ArchiveFormat, InspectDoesNotRequireModulesToRun) {
+  // inspect_archive parses metadata only — even for archives whose codec
+  // payload is garbage (it must not attempt decode).
+  const dims3 d{500};
+  const auto v = positive_field(d);
+  pipeline<f32> p(pipeline_config{});
+  auto archive = p.compress(v, d);
+  // Stomp the codec payload region (after outer+inner headers).
+  for (std::size_t i = 160; i < std::min<std::size_t>(archive.size(), 200);
+       ++i) {
+    archive[i] = 0xAA;
+  }
+  EXPECT_NO_THROW({
+    const auto info = inspect_archive(archive);
+    EXPECT_EQ(info.dims, d);
+  });
+}
+
+}  // namespace
+}  // namespace fzmod::core

@@ -1,0 +1,134 @@
+// Unit tests: fundamental types, error machinery, bit utilities, RNG.
+#include <gtest/gtest.h>
+
+#include "fzmod/common/bits.hh"
+#include "fzmod/common/error.hh"
+#include "fzmod/common/rng.hh"
+#include "fzmod/common/types.hh"
+
+namespace fzmod {
+namespace {
+
+TEST(Dims3, LenAndRank) {
+  EXPECT_EQ(dims3(10).len(), 10u);
+  EXPECT_EQ(dims3(10).rank(), 1);
+  EXPECT_EQ(dims3(4, 5).len(), 20u);
+  EXPECT_EQ(dims3(4, 5).rank(), 2);
+  EXPECT_EQ(dims3(4, 5, 6).len(), 120u);
+  EXPECT_EQ(dims3(4, 5, 6).rank(), 3);
+}
+
+TEST(Dims3, LinearIndexing) {
+  const dims3 d{7, 5, 3};
+  EXPECT_EQ(d.at(0, 0, 0), 0u);
+  EXPECT_EQ(d.at(1, 0, 0), 1u);
+  EXPECT_EQ(d.at(0, 1, 0), 7u);
+  EXPECT_EQ(d.at(0, 0, 1), 35u);
+  EXPECT_EQ(d.at(6, 4, 2), d.len() - 1);
+}
+
+TEST(EbConfig, ResolveAbsolute) {
+  eb_config eb{1e-3, eb_mode::abs};
+  EXPECT_DOUBLE_EQ(eb.resolve(100.0), 1e-3);
+  EXPECT_DOUBLE_EQ(eb.resolve(0.0), 1e-3);
+}
+
+TEST(EbConfig, ResolveRelative) {
+  eb_config eb{1e-3, eb_mode::rel};
+  EXPECT_DOUBLE_EQ(eb.resolve(100.0), 0.1);
+  // Constant field degrades to the raw bound rather than zero.
+  EXPECT_DOUBLE_EQ(eb.resolve(0.0), 1e-3);
+}
+
+TEST(Error, CarriesStatusAndMessage) {
+  try {
+    FZMOD_REQUIRE(false, status::corrupt_archive, "boom");
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::corrupt_archive);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Bits, ZigZagRoundTrip32) {
+  for (const i32 v : {0, 1, -1, 2, -2, 100, -100, 2147483647, -2147483647}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+  // Small magnitudes map to small codes.
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+TEST(Bits, ZigZagRoundTrip64) {
+  for (const i64 v : {i64{0}, i64{-1}, i64{1}, i64{1} << 40, -(i64{1} << 40),
+                      INT64_MAX, INT64_MIN + 1}) {
+    EXPECT_EQ(zigzag_decode64(zigzag_encode64(v)), v) << v;
+  }
+}
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bit_width_u32(0), 0u);
+  EXPECT_EQ(bit_width_u32(1), 1u);
+  EXPECT_EQ(bit_width_u32(2), 2u);
+  EXPECT_EQ(bit_width_u32(255), 8u);
+  EXPECT_EQ(bit_width_u32(256), 9u);
+  EXPECT_EQ(bit_width_u32(0xffffffffu), 32u);
+}
+
+TEST(Bits, WriterReaderRoundTrip) {
+  std::vector<u8> buf(128, 0);
+  bit_writer bw(buf.data());
+  bw.put(0b101, 3);
+  bw.put(0xbeef, 16);
+  bw.put(1, 1);
+  bw.put(0x123456789aULL, 40);
+  EXPECT_EQ(bw.bits_written(), 60u);
+
+  bit_reader br(buf.data());
+  EXPECT_EQ(br.get(3), 0b101u);
+  EXPECT_EQ(br.get(16), 0xbeefu);
+  EXPECT_EQ(br.get(1), 1u);
+  EXPECT_EQ(br.get(40), 0x123456789aULL);
+}
+
+TEST(Bits, ReaderPeekDoesNotConsume) {
+  std::vector<u8> buf(64, 0);
+  bit_writer bw(buf.data());
+  bw.put(0x5a, 8);
+  bit_reader br(buf.data());
+  EXPECT_EQ(br.peek(8), 0x5au);
+  EXPECT_EQ(br.position(), 0u);
+  EXPECT_EQ(br.get(8), 0x5au);
+  EXPECT_EQ(br.position(), 8u);
+}
+
+TEST(Rng, Deterministic) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const f64 v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  rng r(13);
+  f64 sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const f64 v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace fzmod

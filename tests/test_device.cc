@@ -1,0 +1,206 @@
+// Unit tests: software device runtime — buffers, streams, events, kernel
+// launches, transfer accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::device {
+namespace {
+
+TEST(Buffer, AllocatesInRequestedSpace) {
+  buffer<f32> h(16, space::host);
+  buffer<f32> d(16, space::device);
+  EXPECT_EQ(h.where(), space::host);
+  EXPECT_EQ(d.where(), space::device);
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_EQ(d.bytes(), 64u);
+  EXPECT_NO_THROW(h.assert_space(space::host));
+  EXPECT_THROW(h.assert_space(space::device), error);
+}
+
+TEST(Buffer, DeviceAccountingTracksPeak) {
+  auto& st = runtime::instance().stats();
+  const u64 before = st.device_bytes_in_use.load();
+  {
+    buffer<u8> d(1 << 20, space::device);
+    EXPECT_EQ(st.device_bytes_in_use.load(), before + (1u << 20));
+    EXPECT_GE(st.device_bytes_peak.load(), before + (1u << 20));
+  }
+  EXPECT_EQ(st.device_bytes_in_use.load(), before);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  buffer<i32> a(8, space::host);
+  a.data()[3] = 42;
+  buffer<i32> b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.data()[3], 42);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Stream, OpsRunInFifoOrder) {
+  stream s;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    s.enqueue([&order, i] { order.push_back(i); });
+  }
+  s.sync();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Stream, SyncIsIdempotentAndReusable) {
+  stream s;
+  int x = 0;
+  s.enqueue([&x] { x = 1; });
+  s.sync();
+  s.sync();
+  s.enqueue([&x] { x = 2; });
+  s.sync();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(Stream, ErrorPropagatesThroughSyncAndClearsQueue) {
+  stream s;
+  std::atomic<bool> later_ran{false};
+  // Gate the first op so both later ops are enqueued before it throws —
+  // otherwise "clears the queue" would race with enqueue timing.
+  std::mutex gate;
+  gate.lock();
+  s.enqueue([&gate] { std::lock_guard lk(gate); });
+  s.enqueue([] { throw error(status::internal, "kernel died"); });
+  s.enqueue([&later_ran] { later_ran = true; });
+  gate.unlock();
+  EXPECT_THROW(s.sync(), error);
+  EXPECT_FALSE(later_ran.load());
+  // The stream is usable again after the error was consumed.
+  int x = 0;
+  s.enqueue([&x] { x = 7; });
+  s.sync();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Event, CrossStreamOrdering) {
+  stream a, b;
+  std::atomic<int> value{0};
+  event ev;
+  a.enqueue([&value] { value = 41; });
+  ev.record(a);
+  ev.stream_wait(b);
+  int seen = -1;
+  b.enqueue([&value, &seen] { seen = value.load(); });
+  b.sync();
+  EXPECT_EQ(seen, 41);
+  a.sync();
+}
+
+TEST(Event, QueryAndHostWait) {
+  stream s;
+  event ev;
+  ev.record(s);
+  ev.wait();
+  EXPECT_TRUE(ev.query());
+}
+
+TEST(Memcpy, MovesBytesAndCountsDirections) {
+  auto& st = runtime::instance().stats();
+  st.reset_transfers();
+  buffer<u32> h(256, space::host);
+  buffer<u32> d(256, space::device);
+  std::iota(h.data(), h.data() + 256, 0u);
+  stream s;
+  copy_async(d, h, s);  // h2d
+  buffer<u32> h2(256, space::host);
+  copy_async(h2, d, s);  // d2h
+  s.sync();
+  for (u32 i = 0; i < 256; ++i) EXPECT_EQ(h2.data()[i], i);
+  EXPECT_EQ(st.h2d_bytes.load(), 1024u);
+  EXPECT_EQ(st.d2h_bytes.load(), 1024u);
+}
+
+TEST(Launch, CoversFullIndexSpace) {
+  const std::size_t n = 100000;
+  buffer<u32> d(n, space::device);
+  stream s;
+  u32* p = d.data();
+  launch(s, n, [p](std::size_t i) { p[i] = static_cast<u32>(i * 2); });
+  s.sync();
+  for (std::size_t i = 0; i < n; i += 997) {
+    EXPECT_EQ(d.data()[i], static_cast<u32>(i * 2));
+  }
+}
+
+TEST(Launch, BlocksPartitionExactly) {
+  const std::size_t n = 1000;
+  std::atomic<std::size_t> covered{0};
+  stream s;
+  launch_blocks(s, n, 64,
+                [&covered](std::size_t, std::size_t lo, std::size_t hi) {
+                  covered += hi - lo;
+                });
+  s.sync();
+  EXPECT_EQ(covered.load(), n);
+}
+
+TEST(Launch, KernelCounterIncrements) {
+  auto& st = runtime::instance().stats();
+  const u64 before = st.kernels_launched.load();
+  stream s;
+  launch(s, 10, [](std::size_t) {});
+  launch(s, 10, [](std::size_t) {});
+  s.sync();
+  EXPECT_EQ(st.kernels_launched.load(), before + 2);
+}
+
+TEST(ThreadPool, ParallelForHandlesTinyAndHugeGrains) {
+  auto& pool = runtime::instance().pool();
+  std::atomic<u64> sum{0};
+  pool.parallel_for(100, 1, [&sum](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+  sum = 0;
+  pool.parallel_for(100, 1000, [&sum](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  auto& pool = runtime::instance().pool();
+  std::atomic<u64> total{0};
+  pool.parallel_for(8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(100, 10, [&](std::size_t l2, std::size_t h2) {
+        total += h2 - l2;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithExceptions) {
+  auto& pool = runtime::instance().pool();
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+  auto bad = pool.submit([] { throw std::runtime_error("nope"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(Streams, ConcurrentStreamsMakeIndependentProgress) {
+  stream a, b;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    a.enqueue([&done] { done++; });
+    b.enqueue([&done] { done++; });
+  }
+  a.sync();
+  b.sync();
+  EXPECT_EQ(done.load(), 40);
+}
+
+}  // namespace
+}  // namespace fzmod::device

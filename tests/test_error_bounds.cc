@@ -1,0 +1,141 @@
+// Cross-cutting property suite: the error-bound contract (DESIGN.md §6)
+// for every compressor, over a parameterized grid of (compressor, dataset
+// character, bound) — the repo's strongest invariant check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fzmod/baselines/compressor.hh"
+#include "fzmod/common/rng.hh"
+#include "fzmod/kernels/stats.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace fzmod {
+namespace {
+
+enum class field_kind { smooth, rough, spiky, tiny_range, mixed_scale };
+
+const char* to_string(field_kind k) {
+  switch (k) {
+    case field_kind::smooth: return "smooth";
+    case field_kind::rough: return "rough";
+    case field_kind::spiky: return "spiky";
+    case field_kind::tiny_range: return "tiny_range";
+    case field_kind::mixed_scale: return "mixed_scale";
+  }
+  return "?";
+}
+
+std::vector<f32> make_field(field_kind k, dims3 d) {
+  rng r(static_cast<u64>(k) * 7919 + 3);
+  std::vector<f32> v(d.len());
+  switch (k) {
+    case field_kind::smooth:
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const std::size_t x = i % d.x, y = (i / d.x) % d.y;
+        v[i] = static_cast<f32>(std::sin(0.03 * x) * std::cos(0.05 * y) *
+                                200);
+      }
+      break;
+    case field_kind::rough:
+      for (auto& x : v) x = static_cast<f32>(r.uniform(-500, 500));
+      break;
+    case field_kind::spiky:
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = static_cast<f32>(r.normal());
+        if (r.next_below(200) == 0) {
+          v[i] = static_cast<f32>(r.uniform(-1, 1) * 1e6);
+        }
+      }
+      break;
+    case field_kind::tiny_range:
+      for (auto& x : v) x = static_cast<f32>(1.0 + 1e-6 * r.normal());
+      break;
+    case field_kind::mixed_scale:
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const f64 mag = std::pow(10.0, static_cast<f64>(i % 12) - 6.0);
+        v[i] = static_cast<f32>(mag * r.normal());
+      }
+      break;
+  }
+  return v;
+}
+
+using BoundCase = std::tuple<std::string, field_kind, f64>;
+
+class ErrorBoundContract : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(ErrorBoundContract, RelBoundHolds) {
+  const auto& [name, kind, eb] = GetParam();
+  const dims3 d{37, 29, 11};  // awkward (non-power-of-two) on purpose
+  const auto v = make_field(kind, d);
+  auto c = baselines::make(name);
+  const auto archive = c->compress(v, d, {eb, eb_mode::rel});
+  const auto rec = c->decompress(archive);
+  ASSERT_EQ(rec.size(), v.size());
+  const auto mm = kernels::minmax_host<f32>(v);
+  const f64 bound = eb * mm.range();
+  const f64 max_abs =
+      std::max(std::fabs(static_cast<f64>(mm.min)),
+               std::fabs(static_cast<f64>(mm.max)));
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(bound, max_abs))
+      << name << " on " << to_string(kind) << " @ " << eb;
+}
+
+std::vector<BoundCase> all_cases() {
+  std::vector<BoundCase> cases;
+  for (const auto& name : baselines::all_names()) {
+    for (const field_kind kind :
+         {field_kind::smooth, field_kind::rough, field_kind::spiky,
+          field_kind::tiny_range, field_kind::mixed_scale}) {
+      for (const f64 eb : {1e-2, 1e-4}) {
+        cases.emplace_back(name, kind, eb);
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<BoundCase>& info) {
+  std::string name = std::get<0>(info.param);
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_" + to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) > 1e-3 ? "_loose" : "_tight");
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ErrorBoundContract,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+TEST(ErrorBoundContract, Tight1e6BoundOnSmoothData) {
+  // The paper's tightest evaluated bound; checked separately because it is
+  // slow on rough data for every compressor.
+  const dims3 d{64, 48, 8};
+  const auto v = make_field(field_kind::smooth, d);
+  for (const auto& name : baselines::all_names()) {
+    auto c = baselines::make(name);
+    const auto archive = c->compress(v, d, {1e-6, eb_mode::rel});
+    const auto rec = c->decompress(archive);
+    const auto mm = kernels::minmax_host<f32>(v);
+    const auto err = metrics::compare(v, rec);
+    EXPECT_LE(err.max_abs_err,
+              metrics::f32_bound_slack(1e-6 * mm.range(), 200.0))
+        << name;
+  }
+}
+
+TEST(ErrorBoundContract, LosslessCompressorsAgreeOnDecodedLength) {
+  const dims3 d{1000};
+  const auto v = make_field(field_kind::smooth, d);
+  for (const auto& name : baselines::all_names()) {
+    auto c = baselines::make(name);
+    const auto rec = c->decompress(c->compress(v, d, {1e-3, eb_mode::rel}));
+    EXPECT_EQ(rec.size(), v.size()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fzmod

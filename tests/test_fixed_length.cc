@@ -1,0 +1,97 @@
+// Unit + property tests: blockwise fixed-length encoder (cuSZp2's lossless
+// stage as a modular codec).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/encoders/fixed_length.hh"
+
+namespace fzmod::encoders {
+namespace {
+
+void roundtrip_expect(const std::vector<u16>& codes, int radius = 512) {
+  const auto blob = fixed_length_encode(codes, radius);
+  std::vector<u16> out(codes.size());
+  fixed_length_decode(blob, radius, out);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ASSERT_EQ(out[i], codes[i]) << i;
+  }
+}
+
+TEST(FixedLength, RoundTripMixed) {
+  rng r(50);
+  std::vector<u16> codes(100000);
+  for (auto& c : codes) {
+    c = static_cast<u16>(std::clamp(r.normal() * 4.0 + 512.0, 0.0, 1023.0));
+  }
+  roundtrip_expect(codes);
+}
+
+TEST(FixedLength, ZeroBlocksCostOneByte) {
+  std::vector<u16> codes(3200, 512);  // all center -> zz == 2 (non-zero)
+  std::vector<u16> sentinel(3200, 0);  // all sentinel -> zz == 0
+  const auto blob_center = fixed_length_encode(codes, 512);
+  const auto blob_zero = fixed_length_encode(sentinel, 512);
+  // All-sentinel blocks: header + one width byte per block + pad.
+  EXPECT_LE(blob_zero.size(), sizeof(u64) + 3200 / flen_block + 16);
+  EXPECT_GT(blob_center.size(), blob_zero.size());
+}
+
+TEST(FixedLength, WidthAdaptsPerBlock) {
+  std::vector<u16> codes(64, 512);
+  // Second block has one large deviation: its width grows, first's stays.
+  codes[40] = 1000;
+  const auto blob = fixed_length_encode(codes, 512);
+  std::vector<u16> out(codes.size());
+  fixed_length_decode(blob, 512, out);
+  EXPECT_EQ(out[40], 1000);
+  EXPECT_EQ(out[0], 512);
+}
+
+TEST(FixedLength, PartialFinalBlock) {
+  for (const std::size_t n : {1u, 31u, 32u, 33u, 1000u}) {
+    rng r(51 + n);
+    std::vector<u16> codes(n);
+    for (auto& c : codes) {
+      c = static_cast<u16>(std::clamp(r.normal() * 3.0 + 512.0, 0.0,
+                                      1023.0));
+    }
+    roundtrip_expect(codes);
+  }
+}
+
+TEST(FixedLength, SentinelsPreserved) {
+  rng r(52);
+  std::vector<u16> codes(5000);
+  for (auto& c : codes) {
+    c = r.next_below(50) == 0 ? u16{0}
+                              : static_cast<u16>(500 + r.next_below(24));
+  }
+  roundtrip_expect(codes);
+}
+
+TEST(FixedLength, RejectsTruncatedBlob) {
+  std::vector<u16> codes(1000, 512);
+  auto blob = fixed_length_encode(codes, 512);
+  blob.resize(4);
+  std::vector<u16> out(1000);
+  EXPECT_THROW(fixed_length_decode(blob, 512, out), error);
+}
+
+TEST(FixedLength, RejectsUndersizedOutput) {
+  std::vector<u16> codes(1000, 512);
+  const auto blob = fixed_length_encode(codes, 512);
+  std::vector<u16> out(10);
+  EXPECT_THROW(fixed_length_decode(blob, 512, out), error);
+}
+
+TEST(FixedLength, EmptyInput) {
+  std::vector<u16> codes;
+  const auto blob = fixed_length_encode(codes, 512);
+  std::vector<u16> out;
+  fixed_length_decode(blob, 512, out);
+}
+
+}  // namespace
+}  // namespace fzmod::encoders

@@ -1,0 +1,136 @@
+// Unit + property tests: FZ-GPU bitshuffle + dictionary codec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/encoders/fzg.hh"
+
+namespace fzmod::encoders {
+namespace {
+
+device::buffer<u16> to_device(const std::vector<u16>& v) {
+  device::buffer<u16> d(v.size(), device::space::device);
+  std::memcpy(d.data(), v.data(), v.size() * sizeof(u16));
+  return d;
+}
+
+void roundtrip_expect(const std::vector<u16>& codes, int radius = 512) {
+  auto dev = to_device(codes);
+  fzg_result enc;
+  device::stream s;
+  fzg_encode_async(dev, radius, enc, s);
+  s.sync();
+  device::buffer<u16> back(codes.size(), device::space::device);
+  fzg_decode_async(enc, back, s);
+  s.sync();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ASSERT_EQ(back.data()[i], codes[i]) << i;
+  }
+}
+
+TEST(Fzg, RoundTripConcentratedCodes) {
+  rng r(40);
+  std::vector<u16> codes(100000);
+  for (auto& c : codes) {
+    const f64 g = r.normal() * 2.0 + 512.0;
+    c = static_cast<u16>(std::clamp(g, 1.0, 1023.0));
+  }
+  roundtrip_expect(codes);
+}
+
+TEST(Fzg, RoundTripWithOutlierSentinels) {
+  rng r(41);
+  std::vector<u16> codes(50000);
+  for (auto& c : codes) {
+    c = r.next_below(100) == 0
+            ? u16{0}
+            : static_cast<u16>(std::clamp(r.normal() * 3.0 + 512.0, 1.0,
+                                          1023.0));
+  }
+  roundtrip_expect(codes);
+}
+
+TEST(Fzg, RoundTripAllSentinels) {
+  std::vector<u16> codes(4096, 0);
+  roundtrip_expect(codes);
+}
+
+TEST(Fzg, RoundTripUniformHard) {
+  rng r(42);
+  std::vector<u16> codes(30000);
+  for (auto& c : codes) c = static_cast<u16>(r.next_below(1024));
+  roundtrip_expect(codes);
+}
+
+TEST(Fzg, AllCenterCodesCompressNearNothing) {
+  // delta == 0 everywhere -> recentre gives 1 -> only plane 0 non-empty.
+  std::vector<u16> codes(65536, 512);
+  auto dev = to_device(codes);
+  fzg_result enc;
+  device::stream s;
+  fzg_encode_async(dev, 512, enc, s);
+  s.sync();
+  // One plane of 65536 bits = 2048 words payload, vs 128Kib raw.
+  EXPECT_LT(enc.bytes(), codes.size() * sizeof(u16) / 8);
+}
+
+TEST(Fzg, ConcentratedBeatsUniformInSize) {
+  rng r(43);
+  std::vector<u16> tight(50000), loose(50000);
+  for (auto& c : tight) {
+    c = static_cast<u16>(std::clamp(r.normal() * 1.5 + 512.0, 1.0, 1023.0));
+  }
+  for (auto& c : loose) c = static_cast<u16>(1 + r.next_below(1023));
+  auto dt = to_device(tight);
+  auto dl = to_device(loose);
+  fzg_result et, el;
+  device::stream s;
+  fzg_encode_async(dt, 512, et, s);
+  fzg_encode_async(dl, 512, el, s);
+  s.sync();
+  EXPECT_LT(et.bytes(), el.bytes());
+}
+
+TEST(Fzg, LargeRadiusSymbols) {
+  // SZ3-regime radius (16384): recentre output up to 32768 needs plane 15.
+  rng r(44);
+  std::vector<u16> codes(20000);
+  for (auto& c : codes) {
+    const f64 g = r.normal() * 2000.0 + 16384.0;
+    c = static_cast<u16>(std::clamp(g, 1.0, 32767.0));
+  }
+  roundtrip_expect(codes, 16384);
+}
+
+TEST(Fzg, DecodeDetectsBitmapCorruption) {
+  std::vector<u16> codes(10000, 512);
+  auto dev = to_device(codes);
+  fzg_result enc;
+  device::stream s;
+  fzg_encode_async(dev, 512, enc, s);
+  s.sync();
+  // Flip a bitmap bit: population no longer matches packed_words.
+  enc.payload.data()[0] ^= 0x10u;
+  device::buffer<u16> back(codes.size(), device::space::device);
+  fzg_decode_async(enc, back, s);
+  EXPECT_THROW(s.sync(), error);
+}
+
+class FzgSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FzgSizeSweep, RoundTrip) {
+  rng r(45 + GetParam());
+  std::vector<u16> codes(GetParam());
+  for (auto& c : codes) {
+    c = static_cast<u16>(std::clamp(r.normal() * 5.0 + 512.0, 0.0, 1023.0));
+  }
+  roundtrip_expect(codes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FzgSizeSweep,
+                         ::testing::Values(1, 2, 511, 512, 513, 12345));
+
+}  // namespace
+}  // namespace fzmod::encoders

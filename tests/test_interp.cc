@@ -1,0 +1,227 @@
+// Unit + property tests: multi-level interpolation (G-Interp) predictor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/metrics/metrics.hh"
+#include "fzmod/predictors/interp.hh"
+#include "fzmod/predictors/lorenzo.hh"
+
+namespace fzmod::predictors {
+namespace {
+
+template <class T>
+device::buffer<T> to_device(const std::vector<T>& v) {
+  device::buffer<T> d(v.size(), device::space::device);
+  std::memcpy(d.data(), v.data(), v.size() * sizeof(T));
+  return d;
+}
+
+struct interp_roundtrip_result {
+  std::vector<f32> rec;
+  quant_field field;
+  interp_anchors anchors;
+};
+
+interp_roundtrip_result roundtrip(const std::vector<f32>& v, dims3 dims,
+                                  f64 eb, int radius = default_radius) {
+  interp_roundtrip_result out;
+  auto dev = to_device(v);
+  device::stream s;
+  interp_compress_async(dev, dims, 2 * eb, radius, out.field, out.anchors,
+                        s);
+  s.sync();
+  device::buffer<f32> rec(dims.len(), device::space::device);
+  interp_decompress_async(out.field, out.anchors, rec, s);
+  s.sync();
+  out.rec.resize(dims.len());
+  std::memcpy(out.rec.data(), rec.data(), rec.bytes());
+  return out;
+}
+
+TEST(Interp, RoundTrip1D) {
+  std::vector<f32> v(3001);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.01 * static_cast<f64>(i)) * 20);
+  }
+  const f64 eb = 1e-4;
+  const auto rt = roundtrip(v, dims3(v.size()), eb);
+  const auto err = metrics::compare(v, rt.rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 20.0));
+}
+
+TEST(Interp, RoundTrip2D) {
+  const dims3 d{130, 121};
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] = static_cast<f32>(
+          std::sin(0.04 * x) * std::cos(0.05 * y) * 100 + 0.3 * x);
+    }
+  }
+  const f64 eb = 1e-3;
+  const auto rt = roundtrip(v, d, eb);
+  const auto err = metrics::compare(v, rt.rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 150.0));
+}
+
+TEST(Interp, RoundTrip3DNonPowerOfTwo) {
+  const dims3 d{37, 41, 23};
+  rng r(20);
+  std::vector<f32> v(d.len());
+  for (std::size_t z = 0; z < d.z; ++z) {
+    for (std::size_t y = 0; y < d.y; ++y) {
+      for (std::size_t x = 0; x < d.x; ++x) {
+        v[d.at(x, y, z)] = static_cast<f32>(
+            std::sin(0.1 * x) + std::cos(0.12 * y) + 0.05 * z +
+            0.01 * r.normal());
+      }
+    }
+  }
+  const f64 eb = 1e-3;
+  const auto rt = roundtrip(v, d, eb);
+  const auto err = metrics::compare(v, rt.rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 5.0));
+}
+
+TEST(Interp, AnchorsAreStoredOnStrideLattice) {
+  const dims3 d{129, 129};
+  std::vector<f32> v(d.len(), 0.0f);
+  const auto rt = roundtrip(v, d, 1e-3);
+  // ceil(129/64) = 3 anchor coordinates per dim (0, 64, 128).
+  EXPECT_EQ(rt.anchors.stride, interp_anchor_stride);
+  EXPECT_EQ(rt.anchors.lattice.size(), 9u);
+}
+
+TEST(Interp, SmootherFieldYieldsMoreConcentratedCodes) {
+  // The spline predictor's selling point: on smooth data its codes cluster
+  // at the radius (zero error) much more tightly than Lorenzo's.
+  const dims3 d{200, 200};
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] = static_cast<f32>(
+          std::sin(0.02 * x) * std::cos(0.015 * y) * 1000);
+    }
+  }
+  const f64 eb = 1e-5 * 2000;  // rel-1e-5-like
+
+  const auto rt = roundtrip(v, d, eb);
+  auto dev = to_device(v);
+  quant_field lz;
+  device::stream s;
+  lorenzo_compress_async(dev, d, 2 * eb, default_radius, lz, s);
+  s.sync();
+
+  auto center_hits = [&](const quant_field& f) {
+    u64 hits = 0;
+    for (std::size_t i = 0; i < d.len(); ++i) {
+      hits += (f.codes.data()[i] == static_cast<u16>(default_radius));
+    }
+    return hits;
+  };
+  EXPECT_GT(center_hits(rt.field), center_hits(lz));
+}
+
+TEST(Interp, ConstantField) {
+  const dims3 d{65, 65, 65};
+  std::vector<f32> v(d.len(), -7.5f);
+  const auto rt = roundtrip(v, d, 1e-4);
+  EXPECT_EQ(rt.field.n_outliers, 0u);
+  for (std::size_t i = 0; i < d.len(); i += 1000) {
+    EXPECT_NEAR(rt.rec[i], -7.5f, 1e-4);
+  }
+}
+
+TEST(Interp, TinyFieldsSmallerThanAnchorStride) {
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 63u}) {
+    std::vector<f32> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<f32>(i * i);
+    const f64 eb = 1e-3;
+    const auto rt = roundtrip(v, dims3(n), eb);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(rt.rec[i], v[i], eb * (1 + 1e-6)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Interp, HugeMagnitudesGoThroughValueOutlierChannel) {
+  std::vector<f32> v(100, 1.0f);
+  v[37] = 4.2e30f;
+  const f64 eb = 1e-4;
+  const auto rt = roundtrip(v, dims3(v.size()), eb);
+  EXPECT_EQ(rt.rec[37], 4.2e30f);
+  EXPECT_NEAR(rt.rec[36], 1.0f, eb * 2);
+}
+
+TEST(Interp, RoughDataBoundStillHolds) {
+  rng r(21);
+  const dims3 d{64, 64, 16};
+  std::vector<f32> v(d.len());
+  for (auto& x : v) x = static_cast<f32>(r.uniform(-100, 100));
+  const f64 eb = 1e-2;
+  const auto rt = roundtrip(v, d, eb);
+  const auto err = metrics::compare(v, rt.rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 100.0));
+  // Rough data must be funneled through outliers, not silently distorted.
+  EXPECT_GT(rt.field.n_outliers, 0u);
+}
+
+class InterpEbSweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(InterpEbSweep, BoundHolds) {
+  const f64 eb = GetParam();
+  const dims3 d{77, 53};
+  rng r(22);
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] =
+          static_cast<f32>(std::sin(0.07 * x) * 40 + r.normal());
+    }
+  }
+  const auto rt = roundtrip(v, d, eb);
+  const auto err = metrics::compare(v, rt.rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 50.0)) << eb;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, InterpEbSweep,
+                         ::testing::Values(1.0, 1e-1, 1e-2, 1e-3, 1e-4));
+
+TEST(Interp, HigherAccuracyThanLorenzoOnSmoothData) {
+  // FZMod-Quality's premise (paper §3.3): interpolation predicts smooth
+  // fields better, leaving fewer/narrower residuals.
+  const dims3 d{150, 150};
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] = static_cast<f32>(
+          std::exp(-0.001 * ((x - 75.0) * (x - 75.0) +
+                             (y - 75.0) * (y - 75.0))) *
+          500);
+    }
+  }
+  const f64 eb = 5e-4;
+  const auto rt = roundtrip(v, d, eb);
+  auto dev = to_device(v);
+  quant_field lz;
+  device::stream s;
+  lorenzo_compress_async(dev, d, 2 * eb, default_radius, lz, s);
+  s.sync();
+
+  // Compare residual entropy proxies: sum of |code - radius|.
+  auto residual_mass = [&](const quant_field& f) {
+    u64 mass = 0;
+    for (std::size_t i = 0; i < d.len(); ++i) {
+      const u16 c = f.codes.data()[i];
+      if (c) mass += static_cast<u64>(std::abs(c - default_radius));
+    }
+    return mass;
+  };
+  EXPECT_LT(residual_mass(rt.field), residual_mass(lz));
+}
+
+}  // namespace
+}  // namespace fzmod::predictors

@@ -1,0 +1,273 @@
+// Unit + property tests: data-parallel kernel primitives (stats, histogram,
+// scan, bitshuffle, compaction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/kernels/bitshuffle.hh"
+#include "fzmod/kernels/compact.hh"
+#include "fzmod/kernels/histogram.hh"
+#include "fzmod/kernels/scan.hh"
+#include "fzmod/kernels/stats.hh"
+
+namespace fzmod::kernels {
+namespace {
+
+template <class T>
+device::buffer<T> to_device(const std::vector<T>& v) {
+  device::buffer<T> d(v.size(), device::space::device);
+  std::memcpy(d.data(), v.data(), v.size() * sizeof(T));
+  return d;
+}
+
+TEST(Stats, MinMaxMatchesHostReference) {
+  rng r(1);
+  std::vector<f32> v(100001);
+  for (auto& x : v) x = static_cast<f32>(r.uniform(-500, 1200));
+  auto d = to_device(v);
+  minmax_result<f32> mm;
+  device::stream s;
+  minmax_async(d, &mm, s);
+  s.sync();
+  const auto ref = minmax_host<f32>(v);
+  EXPECT_EQ(mm.min, ref.min);
+  EXPECT_EQ(mm.max, ref.max);
+  EXPECT_GT(mm.range(), 1600.0);
+}
+
+TEST(Stats, MinMaxSingleElement) {
+  auto d = to_device<f32>({42.5f});
+  minmax_result<f32> mm;
+  device::stream s;
+  minmax_async(d, &mm, s);
+  s.sync();
+  EXPECT_EQ(mm.min, 42.5f);
+  EXPECT_EQ(mm.max, 42.5f);
+  EXPECT_EQ(mm.range(), 0.0);
+}
+
+class HistogramKinds : public ::testing::TestWithParam<histogram_kind> {};
+
+TEST_P(HistogramKinds, MatchesHostReference) {
+  rng r(2);
+  const std::size_t nbins = 1024;
+  std::vector<u16> codes(250000);
+  // Concentrated distribution (what predictors emit): mostly near 512.
+  for (auto& c : codes) {
+    const f64 g = r.normal() * 6.0 + 512.0;
+    c = static_cast<u16>(std::clamp(g, 0.0, 1023.0));
+  }
+  std::vector<u32> ref(nbins, 0);
+  for (const u16 c : codes) ref[c]++;
+
+  auto d = to_device(codes);
+  device::buffer<u32> bins(nbins, device::space::device);
+  device::stream s;
+  histogram_dispatch_async(GetParam(), d, bins, s);
+  s.sync();
+  for (std::size_t b = 0; b < nbins; ++b) {
+    EXPECT_EQ(bins.data()[b], ref[b]) << "bin " << b;
+  }
+}
+
+TEST_P(HistogramKinds, UniformDistribution) {
+  rng r(3);
+  const std::size_t nbins = 256;
+  std::vector<u16> codes(65536);
+  for (auto& c : codes) c = static_cast<u16>(r.next_below(nbins));
+  std::vector<u32> ref(nbins, 0);
+  for (const u16 c : codes) ref[c]++;
+  auto d = to_device(codes);
+  device::buffer<u32> bins(nbins, device::space::device);
+  device::stream s;
+  histogram_dispatch_async(GetParam(), d, bins, s);
+  s.sync();
+  u64 total = 0;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    EXPECT_EQ(bins.data()[b], ref[b]);
+    total += bins.data()[b];
+  }
+  EXPECT_EQ(total, codes.size());
+}
+
+TEST_P(HistogramKinds, EmptyInput) {
+  device::buffer<u16> d(0, device::space::device);
+  device::buffer<u32> bins(64, device::space::device);
+  device::stream s;
+  histogram_dispatch_async(GetParam(), d, bins, s);
+  s.sync();
+  for (std::size_t b = 0; b < 64; ++b) EXPECT_EQ(bins.data()[b], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HistogramKinds,
+                         ::testing::Values(histogram_kind::standard,
+                                           histogram_kind::topk));
+
+TEST(Scan, ExclusiveMatchesReference) {
+  rng r(4);
+  std::vector<u32> v(70000);
+  for (auto& x : v) x = static_cast<u32>(r.next_below(100));
+  auto d = to_device(v);
+  device::buffer<u32> out(v.size(), device::space::device);
+  u32 total = 0;
+  device::stream s;
+  exclusive_scan_async(d, out, &total, s);
+  s.sync();
+  u32 acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(out.data()[i], acc) << i;
+    acc += v[i];
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST(Scan, RowsInvertsLorenzo1D) {
+  // prefix-sum of first differences recovers the sequence.
+  std::vector<i32> orig{5, 3, 8, -2, 0, 7, 7, 1};
+  std::vector<i32> delta(orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    delta[i] = orig[i] - (i ? orig[i - 1] : 0);
+  }
+  auto d = to_device(delta);
+  device::stream s;
+  inclusive_scan_rows_async(d, dims3(orig.size()), s);
+  s.sync();
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(d.data()[i], orig[i]);
+  }
+}
+
+TEST(Scan, ColsAndSlicesCompose3DInverse) {
+  // Build a 3-D field, take the full 3-D Lorenzo difference, then verify
+  // the three scans recover it.
+  const dims3 d{6, 5, 4};
+  rng r(5);
+  std::vector<i32> q(d.len());
+  for (auto& x : q) x = static_cast<i32>(r.next_below(1000)) - 500;
+  std::vector<i32> delta(d.len());
+  auto at = [&](i64 x, i64 y, i64 z) -> i32 {
+    if (x < 0 || y < 0 || z < 0) return 0;
+    return q[d.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y),
+                  static_cast<std::size_t>(z))];
+  };
+  for (std::size_t z = 0; z < d.z; ++z) {
+    for (std::size_t y = 0; y < d.y; ++y) {
+      for (std::size_t x = 0; x < d.x; ++x) {
+        const auto ix = static_cast<i64>(x), iy = static_cast<i64>(y),
+                   iz = static_cast<i64>(z);
+        delta[d.at(x, y, z)] =
+            at(ix, iy, iz) - at(ix - 1, iy, iz) - at(ix, iy - 1, iz) -
+            at(ix, iy, iz - 1) + at(ix - 1, iy - 1, iz) +
+            at(ix - 1, iy, iz - 1) + at(ix, iy - 1, iz - 1) -
+            at(ix - 1, iy - 1, iz - 1);
+      }
+    }
+  }
+  auto dev = to_device(delta);
+  device::stream s;
+  inclusive_scan_rows_async(dev, d, s);
+  inclusive_scan_cols_async(dev, d, s);
+  inclusive_scan_slices_async(dev, d, s);
+  s.sync();
+  for (std::size_t i = 0; i < d.len(); ++i) EXPECT_EQ(dev.data()[i], q[i]);
+}
+
+class BitshuffleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitshuffleSizes, RoundTrip) {
+  const std::size_t n = GetParam();
+  rng r(6 + n);
+  std::vector<u16> codes(n);
+  for (auto& c : codes) {
+    // Skewed-small magnitudes, the encoder's operating regime.
+    c = static_cast<u16>(r.next_below(16) == 0 ? r.next_below(65536)
+                                               : r.next_below(8));
+  }
+  auto d = to_device(codes);
+  device::buffer<u32> planes(bitshuffle_words(n), device::space::device);
+  device::buffer<u16> back(n, device::space::device);
+  device::stream s;
+  bitshuffle_fwd_async(d, planes, s);
+  bitshuffle_inv_async(planes, back, s);
+  s.sync();
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(back.data()[i], codes[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitshuffleSizes,
+                         ::testing::Values(1, 31, 512, 513, 4096, 100000));
+
+TEST(Bitshuffle, ZeroInputYieldsZeroPlanes) {
+  std::vector<u16> codes(2048, 0);
+  auto d = to_device(codes);
+  device::buffer<u32> planes(bitshuffle_words(2048), device::space::device);
+  device::stream s;
+  bitshuffle_fwd_async(d, planes, s);
+  s.sync();
+  for (std::size_t w = 0; w < planes.size(); ++w) {
+    EXPECT_EQ(planes.data()[w], 0u);
+  }
+}
+
+TEST(Compact, CollectsFlaggedInOrder) {
+  const std::size_t n = 50000;
+  rng r(7);
+  std::vector<u8> flags(n, 0);
+  std::vector<i64> vals(n, 0);
+  std::vector<outlier> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.next_below(37) == 0) {
+      flags[i] = 1;
+      vals[i] = static_cast<i64>(r.next_below(1000)) - 500;
+      expected.push_back({i, vals[i]});
+    }
+  }
+  auto df = to_device(flags);
+  auto dv = to_device(vals);
+  device::buffer<outlier> out(expected.size() + 8, device::space::device);
+  u64 count = 0;
+  device::stream s;
+  compact_async(df, dv, out, &count, s);
+  s.sync();
+  ASSERT_EQ(count, expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(out.data()[k].index, expected[k].index);
+    EXPECT_EQ(out.data()[k].value, expected[k].value);
+  }
+}
+
+TEST(Compact, ScatterRestoresDeltas) {
+  const std::size_t n = 10000;
+  std::vector<outlier> list{{7, -123}, {999, 456}, {9999, 2}};
+  device::buffer<outlier> d(list.size(), device::space::device);
+  std::memcpy(d.data(), list.data(), list.size() * sizeof(outlier));
+  device::buffer<i32> deltas(n, device::space::device);
+  deltas.fill_zero();
+  u64 count = list.size();
+  device::stream s;
+  scatter_async(d, &count, deltas, s);
+  s.sync();
+  EXPECT_EQ(deltas.data()[7], -123);
+  EXPECT_EQ(deltas.data()[999], 456);
+  EXPECT_EQ(deltas.data()[9999], 2);
+  EXPECT_EQ(deltas.data()[0], 0);
+}
+
+TEST(Compact, OverflowingCapacityThrows) {
+  std::vector<u8> flags(100, 1);
+  std::vector<i64> vals(100, 1);
+  auto df = to_device(flags);
+  auto dv = to_device(vals);
+  device::buffer<outlier> out(10, device::space::device);
+  u64 count = 0;
+  device::stream s;
+  compact_async(df, dv, out, &count, s);
+  EXPECT_THROW(s.sync(), error);
+}
+
+}  // namespace
+}  // namespace fzmod::kernels

@@ -1,0 +1,238 @@
+// Unit + property tests: Lorenzo predictor with dual quantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/metrics/metrics.hh"
+#include "fzmod/predictors/lorenzo.hh"
+
+namespace fzmod::predictors {
+namespace {
+
+template <class T>
+device::buffer<T> to_device(const std::vector<T>& v) {
+  device::buffer<T> d(v.size(), device::space::device);
+  std::memcpy(d.data(), v.data(), v.size() * sizeof(T));
+  return d;
+}
+
+std::vector<f32> roundtrip(const std::vector<f32>& v, dims3 dims, f64 eb,
+                           quant_field* field_out = nullptr,
+                           int radius = default_radius) {
+  auto dev = to_device(v);
+  quant_field field;
+  device::stream s;
+  lorenzo_compress_async(dev, dims, 2 * eb, radius, field, s);
+  s.sync();
+  device::buffer<f32> rec(dims.len(), device::space::device);
+  lorenzo_decompress_async(field, rec, s);
+  s.sync();
+  std::vector<f32> out(dims.len());
+  std::memcpy(out.data(), rec.data(), rec.bytes());
+  if (field_out) *field_out = std::move(field);
+  return out;
+}
+
+void expect_bounded(const std::vector<f32>& a, const std::vector<f32>& b,
+                    f64 eb) {
+  const auto err = metrics::compare(a, b);
+  const f64 max_abs = std::max(std::fabs(err.range), 1.0);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, max_abs * 4));
+}
+
+TEST(Lorenzo, RoundTrip1D) {
+  rng r(10);
+  std::vector<f32> v(10007);
+  f64 acc = 0;
+  for (auto& x : v) {
+    acc += r.normal();
+    x = static_cast<f32>(acc);  // random walk: smooth-ish
+  }
+  const f64 eb = 1e-3;
+  const auto rec = roundtrip(v, dims3(v.size()), eb);
+  expect_bounded(v, rec, eb);
+}
+
+TEST(Lorenzo, RoundTrip2D) {
+  const dims3 d{101, 97};
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] =
+          static_cast<f32>(std::sin(0.05 * x) * std::cos(0.07 * y) * 50);
+    }
+  }
+  const f64 eb = 1e-4;
+  const auto rec = roundtrip(v, d, eb);
+  expect_bounded(v, rec, eb);
+}
+
+TEST(Lorenzo, RoundTrip3D) {
+  const dims3 d{33, 29, 17};
+  rng r(11);
+  std::vector<f32> v(d.len());
+  for (std::size_t i = 0; i < d.len(); ++i) {
+    v[i] = static_cast<f32>(100 + 10 * r.normal());
+  }
+  const f64 eb = 1e-2;
+  const auto rec = roundtrip(v, d, eb);
+  expect_bounded(v, rec, eb);
+}
+
+TEST(Lorenzo, ConstantFieldCompressesToOneSeedOutlier) {
+  const dims3 d{64, 64};
+  std::vector<f32> v(d.len(), 3.25f);
+  quant_field field;
+  const auto rec = roundtrip(v, d, 1e-3, &field);
+  // The origin has no neighbours: its delta is the full lattice value,
+  // which lands in the outlier channel (cuSZ behaves identically). Every
+  // other point predicts exactly.
+  EXPECT_EQ(field.n_outliers, 1u);
+  EXPECT_EQ(field.outliers.data()[0].index, 0u);
+  for (std::size_t i = 0; i < d.len(); ++i) EXPECT_EQ(rec[i], v[i]);
+}
+
+TEST(Lorenzo, SmoothFieldHasFewOutliers) {
+  const dims3 d{128, 128};
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] = static_cast<f32>(0.001 * x * x + 0.002 * y);
+    }
+  }
+  quant_field field;
+  roundtrip(v, d, 1e-3, &field);
+  EXPECT_LT(field.n_outliers, d.len() / 100);
+}
+
+TEST(Lorenzo, RoughFieldStillBounded) {
+  rng r(12);
+  const dims3 d{5000};
+  std::vector<f32> v(d.len());
+  for (auto& x : v) x = static_cast<f32>(r.uniform(-1e6, 1e6));
+  const f64 eb = 0.5;
+  const auto rec = roundtrip(v, d, eb);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 1e6));
+}
+
+TEST(Lorenzo, HugeMagnitudesGoThroughValueOutlierChannel) {
+  std::vector<f32> v{1.0f, 2.0f, 3.0e30f, 4.0f, -2.5e30f, 5.0f};
+  auto dev = to_device(v);
+  quant_field field;
+  device::stream s;
+  // Tiny absolute eb so 3e30 / ebx2 overflows the safe lattice.
+  lorenzo_compress_async(dev, dims3(v.size()), 2e-4, default_radius, field,
+                         s);
+  s.sync();
+  EXPECT_EQ(field.value_outliers.size(), 2u);
+  device::buffer<f32> rec(v.size(), device::space::device);
+  lorenzo_decompress_async(field, rec, s);
+  s.sync();
+  EXPECT_EQ(rec.data()[2], 3.0e30f);  // exact restore
+  EXPECT_EQ(rec.data()[4], -2.5e30f);
+  for (const std::size_t i : {0u, 1u, 3u, 5u}) {
+    EXPECT_NEAR(rec.data()[i], v[i], 1e-4);
+  }
+}
+
+TEST(Lorenzo, CodesStayInRadiusRange) {
+  rng r(13);
+  const dims3 d{251, 83};
+  std::vector<f32> v(d.len());
+  for (auto& x : v) x = static_cast<f32>(r.normal() * 100);
+  auto dev = to_device(v);
+  quant_field field;
+  device::stream s;
+  lorenzo_compress_async(dev, d, 2e-2, default_radius, field, s);
+  s.sync();
+  for (std::size_t i = 0; i < d.len(); ++i) {
+    EXPECT_LT(field.codes.data()[i], 2 * default_radius);
+  }
+}
+
+TEST(Lorenzo, OutlierSentinelMatchesCompactList) {
+  rng r(14);
+  const dims3 d{20000};
+  std::vector<f32> v(d.len());
+  for (auto& x : v) x = static_cast<f32>(r.uniform(-1000, 1000));
+  auto dev = to_device(v);
+  quant_field field;
+  device::stream s;
+  lorenzo_compress_async(dev, d, 2e-3, default_radius, field, s);
+  s.sync();
+  u64 sentinels = 0;
+  for (std::size_t i = 0; i < d.len(); ++i) {
+    sentinels += (field.codes.data()[i] == 0);
+  }
+  EXPECT_EQ(sentinels, field.n_outliers);
+}
+
+TEST(Lorenzo, F64RoundTrip) {
+  rng r(15);
+  const dims3 d{41, 37, 11};
+  std::vector<f64> v(d.len());
+  f64 acc = 1e8;
+  for (auto& x : v) {
+    acc += r.normal();
+    x = acc;
+  }
+  auto dev = to_device(v);
+  quant_field field;
+  device::stream s;
+  const f64 eb = 1e-6;
+  lorenzo_compress_async(dev, d, 2 * eb, default_radius, field, s);
+  s.sync();
+  device::buffer<f64> rec(d.len(), device::space::device);
+  lorenzo_decompress_async(field, rec, s);
+  s.sync();
+  for (std::size_t i = 0; i < d.len(); ++i) {
+    EXPECT_LE(std::fabs(rec.data()[i] - v[i]), eb * (1 + 1e-12)) << i;
+  }
+}
+
+struct EbCase {
+  f64 eb;
+};
+
+class LorenzoEbSweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(LorenzoEbSweep, BoundHolds3D) {
+  const f64 eb = GetParam();
+  rng r(16);
+  const dims3 d{31, 30, 29};
+  std::vector<f32> v(d.len());
+  for (std::size_t i = 0; i < d.len(); ++i) {
+    const f64 base = std::sin(0.1 * static_cast<f64>(i % d.x));
+    v[i] = static_cast<f32>(base * 10 + r.normal() * 0.1);
+  }
+  const auto rec = roundtrip(v, d, eb);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb, 11.0)) << eb;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, LorenzoEbSweep,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5));
+
+TEST(Lorenzo, RejectsMismatchedDims) {
+  device::buffer<f32> dev(10, device::space::device);
+  quant_field field;
+  device::stream s;
+  EXPECT_THROW(
+      lorenzo_compress_async(dev, dims3(11), 1e-3, default_radius, field, s),
+      error);
+}
+
+TEST(Lorenzo, RejectsNonPositiveEb) {
+  device::buffer<f32> dev(10, device::space::device);
+  quant_field field;
+  device::stream s;
+  EXPECT_THROW(
+      lorenzo_compress_async(dev, dims3(10), 0.0, default_radius, field, s),
+      error);
+}
+
+}  // namespace
+}  // namespace fzmod::predictors

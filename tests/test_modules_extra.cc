@@ -1,0 +1,164 @@
+// Integration tests: the fixed-length codec module and the log-transform
+// preprocessor (pointwise-relative bounds), exercising the widened
+// stage-1 interface end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace fzmod::core {
+namespace {
+
+std::vector<f32> positive_lognormal_field(dims3 d, f64 contrast = 8.0) {
+  rng r(555);
+  std::vector<f32> v(d.len());
+  f64 g = 0;
+  for (auto& x : v) {
+    g = 0.95 * g + 0.05 * r.normal() * 3;  // smooth AR(1) in log space
+    x = static_cast<f32>(std::exp(contrast * 0.2 * g));
+  }
+  return v;
+}
+
+TEST(FlenCodec, RegisteredAndRoundTrips) {
+  const dims3 d{80, 60};
+  std::vector<f32> v(d.len());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.05 * static_cast<f64>(i % 80)) * 10);
+  }
+  pipeline_config cfg;
+  cfg.codec = codec_flen;
+  cfg.eb = {1e-4, eb_mode::rel};
+  pipeline<f32> p(cfg);
+  const auto archive = p.compress(v, d);
+  EXPECT_EQ(inspect_archive(archive).codec, codec_flen);
+  const auto rec = p.decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err,
+            metrics::f32_bound_slack(1e-4 * err.range, err.range));
+}
+
+TEST(FlenCodec, RatioBetweenHuffmanAndFzg) {
+  // The module's selling point: between the two extremes on ratio.
+  const dims3 d{256, 128};
+  std::vector<f32> v(d.len());
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] =
+          static_cast<f32>(std::sin(0.02 * x) * std::cos(0.03 * y) * 100);
+    }
+  }
+  std::map<std::string, std::size_t> sizes;
+  for (const char* codec : {codec_huffman, codec_flen, codec_fzg}) {
+    pipeline_config cfg;
+    cfg.codec = codec;
+    cfg.eb = {1e-4, eb_mode::rel};
+    pipeline<f32> p(cfg);
+    sizes[codec] = p.compress(v, d).size();
+  }
+  EXPECT_LE(sizes[codec_huffman], sizes[codec_flen]);
+  EXPECT_LE(sizes[codec_flen], sizes[codec_fzg]);
+}
+
+TEST(LogPreprocessor, DeliversPointwiseRelativeBound) {
+  const dims3 d{40000};
+  const auto v = positive_lognormal_field(d);
+  // abs bound in log space = pointwise relative bound in linear space.
+  const f64 eb = 1e-3;
+  pipeline_config cfg;
+  cfg.preprocessor = preprocess_log;
+  cfg.eb = {eb, eb_mode::abs};
+  pipeline<f32> p(cfg);
+  const auto archive = p.compress(v, d);
+  EXPECT_EQ(inspect_archive(archive).preprocessor, preprocess_log);
+  const auto rec = p.decompress(archive);
+  const f64 rel_tol = std::exp(eb) - 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const f64 rel =
+        std::fabs(static_cast<f64>(rec[i]) - v[i]) / std::fabs(v[i]);
+    ASSERT_LE(rel, rel_tol * (1 + 1e-4) + 1e-7) << i;
+  }
+}
+
+TEST(LogPreprocessor, HugeDynamicRangeCompressesWell) {
+  // The whole point of pw-rel: a field spanning 10 decades compresses to
+  // a sane size at uniform *relative* fidelity, where a value-range
+  // relative bound would either destroy small values or store big ones
+  // raw.
+  const dims3 d{60000};
+  const auto v = positive_lognormal_field(d, 20.0);
+  pipeline_config log_cfg;
+  log_cfg.preprocessor = preprocess_log;
+  log_cfg.eb = {1e-2, eb_mode::abs};
+  pipeline<f32> with_log(log_cfg);
+  const auto archive = with_log.compress(v, d);
+  EXPECT_GT(metrics::compression_ratio(v.size() * 4, archive.size()), 4.0);
+  // Small values keep relative fidelity.
+  const auto rec = with_log.decompress(archive);
+  for (std::size_t i = 0; i < v.size(); i += 503) {
+    if (v[i] < 1e-3f) {
+      ASSERT_GT(rec[i], 0.0f) << i;
+      ASSERT_LT(std::fabs(rec[i] / v[i] - 1.0), 0.02) << i;
+    }
+  }
+}
+
+TEST(LogPreprocessor, RejectsNonPositiveValues) {
+  std::vector<f32> v(1000, 1.0f);
+  v[500] = 0.0f;
+  pipeline_config cfg;
+  cfg.preprocessor = preprocess_log;
+  cfg.eb = {1e-3, eb_mode::abs};
+  pipeline<f32> p(cfg);
+  EXPECT_THROW((void)p.compress(v, dims3(v.size())), error);
+  v[500] = -1.0f;
+  EXPECT_THROW((void)p.compress(v, dims3(v.size())), error);
+}
+
+TEST(LogPreprocessor, WorksWithEveryCodecAndPredictor) {
+  const dims3 d{10000};
+  const auto v = positive_lognormal_field(d);
+  for (const char* predictor : {predictor_lorenzo, predictor_spline}) {
+    for (const char* codec : {codec_huffman, codec_fzg, codec_flen}) {
+      pipeline_config cfg;
+      cfg.preprocessor = preprocess_log;
+      cfg.predictor = predictor;
+      cfg.codec = codec;
+      cfg.eb = {1e-3, eb_mode::abs};
+      pipeline<f32> p(cfg);
+      const auto rec = p.decompress(p.compress(v, d));
+      for (std::size_t i = 0; i < v.size(); i += 997) {
+        ASSERT_LT(std::fabs(rec[i] / v[i] - 1.0), 2e-3)
+            << predictor << "+" << codec << " @ " << i;
+      }
+    }
+  }
+}
+
+TEST(LogPreprocessor, RelativeModeComposes) {
+  // rel mode under log: bound scales with the log-field's range.
+  const dims3 d{20000};
+  const auto v = positive_lognormal_field(d, 12.0);
+  pipeline_config cfg;
+  cfg.preprocessor = preprocess_log;
+  cfg.eb = {1e-5, eb_mode::rel};
+  pipeline<f32> p(cfg);
+  const auto rec = p.decompress(p.compress(v, d));
+  f64 log_lo = 1e300, log_hi = -1e300;
+  for (const f32 x : v) {
+    log_lo = std::min(log_lo, std::log(static_cast<f64>(x)));
+    log_hi = std::max(log_hi, std::log(static_cast<f64>(x)));
+  }
+  const f64 bound = 1e-5 * (log_hi - log_lo);
+  for (std::size_t i = 0; i < v.size(); i += 101) {
+    const f64 log_err = std::fabs(std::log(static_cast<f64>(rec[i])) -
+                                  std::log(static_cast<f64>(v[i])));
+    ASSERT_LE(log_err, bound * (1 + 1e-3) + 1e-6) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fzmod::core

@@ -1,0 +1,142 @@
+// Property suite: cross-cutting predictor invariants shared by Lorenzo
+// and the spline interpolator — the guarantees pipeline composition
+// relies on regardless of which predictor module a config names.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace fzmod::core {
+namespace {
+
+std::vector<f32> wavy(dims3 d, u64 seed) {
+  rng r(seed);
+  std::vector<f32> v(d.len());
+  for (std::size_t z = 0; z < d.z; ++z) {
+    for (std::size_t y = 0; y < d.y; ++y) {
+      for (std::size_t x = 0; x < d.x; ++x) {
+        v[d.at(x, y, z)] = static_cast<f32>(
+            std::sin(0.04 * x + 0.1) * std::cos(0.06 * y) * 50 +
+            0.4 * z + 0.02 * r.normal());
+      }
+    }
+  }
+  return v;
+}
+
+class PredictorProps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PredictorProps, DecompressionIsDeterministic) {
+  const dims3 d{40, 30, 8};
+  const auto v = wavy(d, 1);
+  pipeline_config cfg;
+  cfg.predictor = GetParam();
+  cfg.eb = {1e-4, eb_mode::rel};
+  pipeline<f32> p(cfg);
+  const auto archive = p.compress(v, d);
+  const auto a = p.decompress(archive);
+  const auto b = p.decompress(archive);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST_P(PredictorProps, RecompressionOfReconstructionIsStable) {
+  // Compressing the reconstruction again at the same bound must stay
+  // within 2*eb of the original (idempotence up to one quantization) and
+  // typically compresses better (already on the lattice).
+  const dims3 d{64, 32};
+  const auto v = wavy(d, 2);
+  pipeline_config cfg;
+  cfg.predictor = GetParam();
+  cfg.eb = {1e-3, eb_mode::abs};
+  pipeline<f32> p(cfg);
+  const auto rec1 = p.decompress(p.compress(v, d));
+  const auto rec2 = p.decompress(p.compress(rec1, d));
+  const auto err = metrics::compare(v, rec2);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(2e-3, 60.0));
+}
+
+TEST_P(PredictorProps, TighterBoundNeverWorsensAccuracy) {
+  const dims3 d{50, 20, 5};
+  const auto v = wavy(d, 3);
+  f64 prev_err = 1e300;
+  for (const f64 eb : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    pipeline_config cfg;
+    cfg.predictor = GetParam();
+    cfg.eb = {eb, eb_mode::abs};
+    pipeline<f32> p(cfg);
+    const auto rec = p.decompress(p.compress(v, d));
+    const auto err = metrics::compare(v, rec);
+    EXPECT_LE(err.max_abs_err, prev_err * (1 + 1e-9)) << eb;
+    prev_err = std::max(err.max_abs_err, 1e-12);
+  }
+}
+
+TEST_P(PredictorProps, RowVectorAndColumnVectorAgreeWith1D) {
+  // {n,1,1} and a flat 1-D field are the same thing; predictors must not
+  // care which way the caller spells it.
+  const std::size_t n = 4096;
+  std::vector<f32> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<f32>(std::sin(0.01 * static_cast<f64>(i)) * 7);
+  }
+  pipeline_config cfg;
+  cfg.predictor = GetParam();
+  cfg.eb = {1e-4, eb_mode::abs};
+  pipeline<f32> p(cfg);
+  const auto a = p.decompress(p.compress(v, dims3{n}));
+  const auto b = p.decompress(p.compress(v, dims3{n, 1, 1}));
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST_P(PredictorProps, NegativeFieldsSymmetricToPositive) {
+  // Quantization must be sign-symmetric: compressing -x reconstructs to
+  // (approximately) the negation of compressing x.
+  const dims3 d{60, 25};
+  const auto v = wavy(d, 4);
+  std::vector<f32> neg(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) neg[i] = -v[i];
+  pipeline_config cfg;
+  cfg.predictor = GetParam();
+  cfg.eb = {1e-3, eb_mode::abs};
+  pipeline<f32> p(cfg);
+  const auto rec_pos = p.decompress(p.compress(v, d));
+  const auto rec_neg = p.decompress(p.compress(neg, d));
+  for (std::size_t i = 0; i < v.size(); i += 17) {
+    ASSERT_NEAR(rec_pos[i], -rec_neg[i], 2e-3) << i;
+  }
+}
+
+TEST_P(PredictorProps, ConstantOffsetsDontChangeResidualStructure) {
+  // Adding a constant shifts the lattice but not prediction deltas; the
+  // archive size should move by at most a few hundred bytes (header,
+  // anchors, first-element outlier).
+  const dims3 d{80, 40};
+  const auto v = wavy(d, 5);
+  std::vector<f32> shifted(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) shifted[i] = v[i] + 1000.0f;
+  pipeline_config cfg;
+  cfg.predictor = GetParam();
+  cfg.eb = {1e-3, eb_mode::abs};
+  pipeline<f32> p(cfg);
+  const auto a = p.compress(v, d);
+  const auto b = p.compress(shifted, d);
+  // f32 addition perturbs low-order bits, so residuals are similar, not
+  // identical; allow 10% + header-scale slack.
+  EXPECT_LT(std::fabs(static_cast<f64>(a.size()) -
+                      static_cast<f64>(b.size())),
+            0.1 * static_cast<f64>(a.size()) + 2048.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPredictors, PredictorProps,
+                         ::testing::Values(predictor_lorenzo,
+                                           predictor_spline),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fzmod::core

@@ -1,0 +1,305 @@
+// Unit tests: sequential task flow library — dependency inference, data
+// coherence, transfer insertion, concurrency, error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "fzmod/stf/stf.hh"
+
+namespace fzmod::stf {
+namespace {
+
+TEST(Stf, ImportMakesHostInstanceValid) {
+  context ctx;
+  std::vector<f32> v{1, 2, 3};
+  auto ld = ctx.import<f32>(v);
+  EXPECT_EQ(ld.size(), 3u);
+  auto span = ld.fetch_host();
+  EXPECT_EQ(span[2], 3.0f);
+}
+
+TEST(Stf, RawOrderingWriterThenReader) {
+  context ctx;
+  auto ld = ctx.make_data<i32>(100);
+  ctx.submit(
+      "producer", place::device,
+      [](device::stream&, device::buffer<i32>& d) {
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          d.data()[i] = static_cast<i32>(i);
+        }
+      },
+      write(ld));
+  i64 sum = 0;
+  ctx.submit(
+      "consumer", place::device,
+      [&sum](device::stream&, device::buffer<i32>& d) {
+        sum = std::accumulate(d.data(), d.data() + d.size(), i64{0});
+      },
+      read(ld));
+  ctx.finalize();
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(Stf, AutomaticDeviceToHostTransfer) {
+  auto& st = device::runtime::instance().stats();
+  context ctx;
+  auto ld = ctx.make_data<u8>(1000);
+  ctx.submit(
+      "fill-on-device", place::device,
+      [](device::stream&, device::buffer<u8>& d) {
+        std::memset(d.data(), 7, d.size());
+      },
+      write(ld));
+  st.reset_transfers();
+  u8 seen = 0;
+  ctx.submit(
+      "read-on-host", place::host,
+      [&seen](device::stream&, device::buffer<u8>& d) { seen = d.data()[99]; },
+      read(ld));
+  ctx.finalize();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(st.d2h_bytes.load(), 1000u);
+}
+
+TEST(Stf, WriteAccessSkipsStaleFetch) {
+  auto& st = device::runtime::instance().stats();
+  context ctx;
+  std::vector<f32> v(512, 1.0f);
+  auto ld = ctx.import<f32>(v);
+  st.reset_transfers();
+  // Pure write on the device must not pay an H2D fetch of stale contents.
+  ctx.submit(
+      "overwrite", place::device,
+      [](device::stream&, device::buffer<f32>& d) {
+        for (std::size_t i = 0; i < d.size(); ++i) d.data()[i] = 2.0f;
+      },
+      write(ld));
+  ctx.finalize();
+  EXPECT_EQ(st.h2d_bytes.load(), 0u);
+  EXPECT_EQ(ld.fetch_host()[0], 2.0f);
+}
+
+TEST(Stf, ReadersDoNotBlockEachOther) {
+  context ctx;
+  auto ld = ctx.make_data<i32>(4);
+  ctx.submit(
+      "init", place::host,
+      [](device::stream&, device::buffer<i32>& d) {
+        std::fill(d.data(), d.data() + d.size(), 5);
+      },
+      write(ld));
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int r = 0; r < 4; ++r) {
+    ctx.submit(
+        "reader", place::host,
+        [&](device::stream&, device::buffer<i32>&) {
+          const int now = ++concurrent;
+          int p = peak.load();
+          while (now > p && !peak.compare_exchange_weak(p, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          --concurrent;
+        },
+        read(ld));
+  }
+  ctx.finalize();
+  // With a >= 4-worker pool, at least two readers must have overlapped.
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(Stf, WarOrderingWriterWaitsForReaders) {
+  context ctx;
+  auto ld = ctx.make_data<i32>(1);
+  std::vector<int> log;
+  std::mutex log_mu;
+  ctx.submit(
+      "w0", place::host,
+      [&](device::stream&, device::buffer<i32>& d) {
+        d.data()[0] = 1;
+        std::lock_guard lk(log_mu);
+        log.push_back(0);
+      },
+      write(ld));
+  for (int r = 1; r <= 3; ++r) {
+    ctx.submit(
+        "reader", place::host,
+        [&, r](device::stream&, device::buffer<i32>& d) {
+          EXPECT_EQ(d.data()[0], 1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          std::lock_guard lk(log_mu);
+          log.push_back(r);
+        },
+        read(ld));
+  }
+  ctx.submit(
+      "w1", place::host,
+      [&](device::stream&, device::buffer<i32>& d) {
+        d.data()[0] = 2;
+        std::lock_guard lk(log_mu);
+        log.push_back(99);
+      },
+      write(ld));
+  ctx.finalize();
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.front(), 0);
+  EXPECT_EQ(log.back(), 99);  // the second writer ran after every reader
+}
+
+TEST(Stf, IndependentBranchesRunConcurrently) {
+  context ctx;
+  auto a = ctx.make_data<i32>(1);
+  auto b = ctx.make_data<i32>(1);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  auto body = [&](device::stream&, device::buffer<i32>& d) {
+    const int now = ++concurrent;
+    int p = peak.load();
+    while (now > p && !peak.compare_exchange_weak(p, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    d.data()[0] = 1;
+    --concurrent;
+  };
+  ctx.submit("branch-a", place::host, body, write(a));
+  ctx.submit("branch-b", place::host, body, write(b));
+  ctx.finalize();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(Stf, DiamondDependencyJoins) {
+  context ctx;
+  auto src = ctx.make_data<i32>(8);
+  auto left = ctx.make_data<i32>(8);
+  auto right = ctx.make_data<i32>(8);
+  auto sink = ctx.make_data<i32>(8);
+  ctx.submit(
+      "src", place::host,
+      [](device::stream&, device::buffer<i32>& d) {
+        std::iota(d.data(), d.data() + d.size(), 0);
+      },
+      write(src));
+  ctx.submit(
+      "left", place::host,
+      [](device::stream&, device::buffer<i32>& s, device::buffer<i32>& l) {
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          l.data()[i] = s.data()[i] * 2;
+        }
+      },
+      read(src), write(left));
+  ctx.submit(
+      "right", place::host,
+      [](device::stream&, device::buffer<i32>& s, device::buffer<i32>& r) {
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          r.data()[i] = s.data()[i] + 100;
+        }
+      },
+      read(src), write(right));
+  ctx.submit(
+      "join", place::host,
+      [](device::stream&, device::buffer<i32>& l, device::buffer<i32>& r,
+         device::buffer<i32>& out) {
+        for (std::size_t i = 0; i < l.size(); ++i) {
+          out.data()[i] = l.data()[i] + r.data()[i];
+        }
+      },
+      read(left), read(right), write(sink));
+  ctx.finalize();
+  const auto result = sink.fetch_host();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(result[i], static_cast<i32>(3 * i + 100));
+  }
+}
+
+TEST(Stf, TaskErrorSurfacesAtFinalize) {
+  context ctx;
+  auto ld = ctx.make_data<i32>(4);
+  ctx.submit(
+      "boom", place::host,
+      [](device::stream&, device::buffer<i32>&) {
+        throw error(status::internal, "task failed");
+      },
+      write(ld));
+  std::atomic<bool> successor_ran{false};
+  ctx.submit(
+      "after", place::host,
+      [&](device::stream&, device::buffer<i32>&) { successor_ran = true; },
+      read(ld));
+  EXPECT_THROW(ctx.finalize(), error);
+  // Poisoned graphs skip successor bodies rather than hanging.
+  EXPECT_FALSE(successor_ran.load());
+}
+
+TEST(Stf, ReadOfUninitializedDataThrows) {
+  context ctx;
+  auto ld = ctx.make_data<i32>(4);
+  ctx.submit(
+      "read-garbage", place::host,
+      [](device::stream&, device::buffer<i32>&) {}, read(ld));
+  EXPECT_THROW(ctx.finalize(), error);
+}
+
+TEST(Stf, RwRoundTripAcrossPlaces) {
+  context ctx;
+  std::vector<i32> v(64, 1);
+  auto ld = ctx.import<i32>(v);
+  for (int pass = 0; pass < 4; ++pass) {
+    const place p = pass % 2 ? place::host : place::device;
+    ctx.submit(
+        "increment", p,
+        [](device::stream&, device::buffer<i32>& d) {
+          for (std::size_t i = 0; i < d.size(); ++i) d.data()[i] += 1;
+        },
+        rw(ld));
+  }
+  ctx.finalize();
+  EXPECT_EQ(ld.fetch_host()[0], 5);
+  EXPECT_EQ(ld.fetch_host()[63], 5);
+}
+
+TEST(Stf, GraphvizDumpShowsInferredEdges) {
+  context ctx;
+  auto a = ctx.make_data<i32>(4);
+  auto b = ctx.make_data<i32>(4);
+  ctx.submit(
+      "producer", place::host,
+      [](device::stream&, device::buffer<i32>& d) { d.fill_zero(); },
+      write(a));
+  ctx.submit(
+      "transform", place::host,
+      [](device::stream&, device::buffer<i32>& s, device::buffer<i32>& d) {
+        std::memcpy(d.data(), s.data(), s.bytes());
+      },
+      read(a), write(b));
+  ctx.finalize();
+  const std::string dot = ctx.dump_graphviz();
+  EXPECT_NE(dot.find("digraph stf"), std::string::npos);
+  EXPECT_NE(dot.find("producer#0"), std::string::npos);
+  EXPECT_NE(dot.find("transform#1"), std::string::npos);
+  // The RAW edge producer -> transform must be present.
+  EXPECT_NE(dot.find("\"producer#0\" -> \"transform#1\""),
+            std::string::npos);
+}
+
+TEST(Stf, ManyTasksChainCorrectly) {
+  context ctx;
+  auto ld = ctx.make_data<u64>(1);
+  ctx.submit(
+      "zero", place::host,
+      [](device::stream&, device::buffer<u64>& d) { d.data()[0] = 0; },
+      write(ld));
+  for (int i = 0; i < 200; ++i) {
+    ctx.submit(
+        "inc", place::host,
+        [](device::stream&, device::buffer<u64>& d) { d.data()[0] += 1; },
+        rw(ld));
+  }
+  ctx.finalize();
+  EXPECT_EQ(ld.fetch_host()[0], 200u);
+}
+
+}  // namespace
+}  // namespace fzmod::stf

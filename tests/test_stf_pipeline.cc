@@ -1,0 +1,125 @@
+// Integration tests: experimental STF task-graph pipeline (paper §3.3.1),
+// including interoperability with the synchronous driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/core/stf_pipeline.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace fzmod::core {
+namespace {
+
+std::vector<f32> wave_field(dims3 d, u64 seed = 77) {
+  rng r(seed);
+  std::vector<f32> v(d.len());
+  for (std::size_t z = 0; z < d.z; ++z) {
+    for (std::size_t y = 0; y < d.y; ++y) {
+      for (std::size_t x = 0; x < d.x; ++x) {
+        v[d.at(x, y, z)] = static_cast<f32>(
+            std::sin(0.06 * x) * 25 + std::cos(0.09 * y) * 10 + 0.3 * z +
+            0.02 * r.normal());
+      }
+    }
+  }
+  return v;
+}
+
+TEST(StfPipeline, RoundTrip3D) {
+  const dims3 d{50, 40, 12};
+  const auto v = wave_field(d);
+  const eb_config eb{1e-4, eb_mode::rel};
+  const auto archive = stf_compress(v, d, eb);
+  const auto rec = stf_decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err,
+            metrics::f32_bound_slack(eb.eb * err.range, err.range));
+}
+
+TEST(StfPipeline, RoundTrip1D) {
+  const dims3 d{20011};
+  const auto v = wave_field(d, 78);
+  const eb_config eb{1e-3, eb_mode::rel};
+  const auto archive = stf_compress(v, d, eb);
+  const auto rec = stf_decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err,
+            metrics::f32_bound_slack(eb.eb * err.range, err.range));
+}
+
+TEST(StfPipeline, AbsoluteBound) {
+  const dims3 d{64, 32};
+  const auto v = wave_field(d, 79);
+  const eb_config eb{5e-3, eb_mode::abs};
+  const auto archive = stf_compress(v, d, eb);
+  const auto rec = stf_decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err, metrics::f32_bound_slack(eb.eb, 40.0));
+}
+
+TEST(StfPipeline, ArchiveInteropStfToSync) {
+  // STF-produced archives decode with the synchronous pipeline driver.
+  const dims3 d{48, 36, 8};
+  const auto v = wave_field(d, 80);
+  const auto archive = stf_compress(v, d, {1e-4, eb_mode::rel});
+  pipeline<f32> p(pipeline_config{});
+  const auto rec = p.decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err,
+            metrics::f32_bound_slack(1e-4 * err.range, err.range));
+}
+
+TEST(StfPipeline, ArchiveInteropSyncToStf) {
+  // Archives from the synchronous FZMod-Default pipeline decode with the
+  // STF driver.
+  const dims3 d{48, 36, 8};
+  const auto v = wave_field(d, 81);
+  pipeline<f32> p(pipeline_config::preset_default({1e-4, eb_mode::rel}));
+  const auto archive = p.compress(v, d);
+  const auto rec = stf_decompress(archive);
+  const auto err = metrics::compare(v, rec);
+  EXPECT_LE(err.max_abs_err,
+            metrics::f32_bound_slack(1e-4 * err.range, err.range));
+}
+
+TEST(StfPipeline, IdenticalReconstructionToSyncDriver) {
+  // Same archive decoded by both drivers must agree bit-for-bit: they run
+  // the same integer algorithms, just scheduled differently.
+  const dims3 d{40, 30, 6};
+  const auto v = wave_field(d, 82);
+  const auto archive = stf_compress(v, d, {1e-3, eb_mode::rel});
+  const auto rec_stf = stf_decompress(archive);
+  pipeline<f32> p(pipeline_config{});
+  const auto rec_sync = p.decompress(archive);
+  ASSERT_EQ(rec_stf.size(), rec_sync.size());
+  for (std::size_t i = 0; i < rec_stf.size(); ++i) {
+    ASSERT_EQ(rec_stf[i], rec_sync[i]) << i;
+  }
+}
+
+TEST(StfPipeline, RejectsForeignCodecArchives) {
+  const dims3 d{32, 32};
+  const auto v = wave_field(d, 83);
+  pipeline<f32> p(pipeline_config::preset_speed({1e-3, eb_mode::rel}));
+  const auto archive = p.compress(v, d);  // codec = fzg
+  EXPECT_THROW((void)stf_decompress(archive), error);
+}
+
+TEST(StfPipeline, RejectsCorruptArchive) {
+  std::vector<u8> junk(64, 0x5a);
+  EXPECT_THROW((void)stf_decompress(junk), error);
+}
+
+TEST(StfPipeline, ValueOutliersSurviveTheGraph) {
+  std::vector<f32> v(2000, 1.0f);
+  v[1234] = 3.7e30f;
+  const auto archive = stf_compress(v, dims3(v.size()), {1e-4, eb_mode::abs});
+  const auto rec = stf_decompress(archive);
+  EXPECT_EQ(rec[1234], 3.7e30f);
+  EXPECT_NEAR(rec[0], 1.0f, 1e-4 * 1.01);
+}
+
+}  // namespace
+}  // namespace fzmod::core

@@ -1,0 +1,263 @@
+// fzmod — command-line front end for FZModules.
+//
+//   fzmod compress   -i field.f32 -o field.fzmod --dims 500,500,100
+//                    [--eb 1e-4] [--mode rel|abs|pwrel]
+//                    [--preset default|speed|quality]
+//                    [--predictor NAME] [--codec NAME] [--secondary]
+//                    [--auto balanced|throughput|ratio|quality]
+//   fzmod decompress -i field.fzmod -o field.f32
+//   fzmod inspect    -i field.fzmod
+//   fzmod gen        --dataset cesm|hacc|hurr|nyx [--field N] -o out.f32
+//   fzmod verify     -a orig.f32 -b recon.f32 --dims X[,Y[,Z]]
+//   fzmod selftest   (end-to-end roundtrip in a temp dir; used by ctest)
+//
+// Input fields are headerless little-endian f32 (the SDRBench layout);
+// dims are x,y,z with x fastest-varying.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "fzmod/common/timer.hh"
+#include "fzmod/core/autotune.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/data/datasets.hh"
+#include "fzmod/data/io.hh"
+#include "fzmod/metrics/metrics.hh"
+
+namespace {
+
+using namespace fzmod;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fzmod compress   -i IN.f32 -o OUT.fzmod --dims X[,Y[,Z]]"
+               " [--eb B] [--mode rel|abs|pwrel]\n"
+               "                   [--preset default|speed|quality]"
+               " [--predictor P] [--codec C] [--secondary]\n"
+               "                   [--auto balanced|throughput|ratio|"
+               "quality]\n"
+               "  fzmod decompress -i IN.fzmod -o OUT.f32\n"
+               "  fzmod inspect    -i IN.fzmod\n"
+               "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
+               " [--field N] -o OUT.f32\n"
+               "  fzmod verify     -a ORIG.f32 -b RECON.f32 --dims"
+               " X[,Y[,Z]]\n"
+               "  fzmod selftest\n");
+  std::exit(2);
+}
+
+/// Tiny flag parser: --key value / -k value pairs plus boolean flags.
+class args {
+ public:
+  args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind('-', 0) != 0) usage(("unexpected token: " + key).c_str());
+      if (key == "--secondary") {
+        flags_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage(("missing value for " + key).c_str());
+      flags_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) usage(("missing required " + key).c_str());
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags_.count(key) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+dims3 parse_dims(const std::string& s) {
+  dims3 d{0, 1, 1};
+  std::size_t parsed = std::sscanf(s.c_str(), "%zu,%zu,%zu", &d.x, &d.y,
+                                   &d.z);
+  if (parsed < 1 || d.x == 0 || d.y == 0 || d.z == 0) {
+    usage(("bad --dims: " + s).c_str());
+  }
+  return d;
+}
+
+core::pipeline_config build_config(const args& a, std::span<const f32> data,
+                                   dims3 dims) {
+  const f64 eb = std::atof(a.get("--eb", "1e-4").c_str());
+  const std::string mode = a.get("--mode", "rel");
+  eb_config ebc{eb, mode == "abs" ? eb_mode::abs : eb_mode::rel};
+
+  core::pipeline_config cfg;
+  if (a.has("--auto")) {
+    const std::string goal = a.get("--auto");
+    core::objective o = core::objective::balanced;
+    if (goal == "throughput") o = core::objective::throughput;
+    else if (goal == "ratio") o = core::objective::ratio;
+    else if (goal == "quality") o = core::objective::quality;
+    else if (goal != "balanced") usage(("bad --auto: " + goal).c_str());
+    const auto rep = core::autotune(data, dims, ebc, o);
+    std::fprintf(stderr, "autotune: %s\n", rep.rationale.c_str());
+    cfg = rep.config;
+  } else {
+    const std::string preset = a.get("--preset", "default");
+    if (preset == "default") {
+      cfg = core::pipeline_config::preset_default(ebc);
+    } else if (preset == "speed") {
+      cfg = core::pipeline_config::preset_speed(ebc);
+    } else if (preset == "quality") {
+      cfg = core::pipeline_config::preset_quality(ebc);
+    } else {
+      usage(("bad --preset: " + preset).c_str());
+    }
+  }
+  if (mode == "pwrel") {
+    // Pointwise relative: abs bound in log space via the log preprocessor.
+    cfg.preprocessor = core::preprocess_log;
+    cfg.eb = {eb, eb_mode::abs};
+  }
+  if (a.has("--predictor")) cfg.predictor = a.get("--predictor");
+  if (a.has("--codec")) cfg.codec = a.get("--codec");
+  if (a.has("--secondary")) cfg.secondary = true;
+  return cfg;
+}
+
+int cmd_compress(const args& a) {
+  const dims3 dims = parse_dims(a.require("--dims"));
+  const auto field = data::load_f32_field(a.require("-i"), dims);
+  const auto cfg = build_config(a, field, dims);
+  core::pipeline<f32> pipe(cfg);
+  stopwatch sw;
+  const auto archive = pipe.compress(field, dims);
+  const f64 t = sw.seconds();
+  data::write_file(a.require("-o"), archive);
+  std::printf("%zu -> %zu bytes (%.2fx) in %.0f ms (%.3f GB/s)\n",
+              field.size() * 4, archive.size(),
+              metrics::compression_ratio(field.size() * 4, archive.size()),
+              1e3 * t, throughput_gbps(field.size() * 4, t));
+  return 0;
+}
+
+int cmd_decompress(const args& a) {
+  const auto archive = data::read_file(a.require("-i"));
+  core::pipeline<f32> pipe(core::pipeline_config{});
+  stopwatch sw;
+  const auto field = pipe.decompress(archive);
+  const f64 t = sw.seconds();
+  data::store_f32_field(a.require("-o"), field);
+  std::printf("%zu -> %zu bytes in %.0f ms (%.3f GB/s)\n", archive.size(),
+              field.size() * 4, 1e3 * t,
+              throughput_gbps(field.size() * 4, t));
+  return 0;
+}
+
+int cmd_inspect(const args& a) {
+  const auto archive = data::read_file(a.require("-i"));
+  const auto info = core::inspect_archive(archive);
+  std::printf("dims          : %zu x %zu x %zu (%zu values)\n", info.dims.x,
+              info.dims.y, info.dims.z, info.dims.len());
+  std::printf("dtype         : %s\n", to_string(info.type));
+  std::printf("error bound   : %g (%s)\n", info.eb_user,
+              to_string(info.mode));
+  std::printf("quantizer     : ebx2=%g radius=%d\n", info.ebx2,
+              info.radius);
+  std::printf("preprocessor  : %s\n", info.preprocessor.c_str());
+  std::printf("predictor     : %s\n", info.predictor.c_str());
+  std::printf("codec         : %s\n", info.codec.c_str());
+  std::printf("secondary     : %s\n", info.secondary ? "lz" : "none");
+  std::printf("outliers      : %llu (+%llu value outliers)\n",
+              static_cast<unsigned long long>(info.n_outliers),
+              static_cast<unsigned long long>(info.n_value_outliers));
+  std::printf("archive bytes : %zu (%.3f bits/value)\n", archive.size(),
+              metrics::bit_rate(archive.size(), info.dims.len()));
+  return 0;
+}
+
+int cmd_gen(const args& a) {
+  const std::string name = a.require("--dataset");
+  data::dataset_id id;
+  if (name == "cesm") id = data::dataset_id::cesm;
+  else if (name == "hacc") id = data::dataset_id::hacc;
+  else if (name == "hurr") id = data::dataset_id::hurr;
+  else if (name == "nyx") id = data::dataset_id::nyx;
+  else usage(("bad --dataset: " + name).c_str());
+  const auto ds = data::describe(id, data::fullscale_requested());
+  const int field = std::atoi(a.get("--field", "0").c_str());
+  const auto v = data::generate(ds, field);
+  data::store_f32_field(a.require("-o"), v);
+  std::printf("%s field %d: %zux%zux%zu -> %zu bytes\n", ds.name.c_str(),
+              field, ds.dims.x, ds.dims.y, ds.dims.z, v.size() * 4);
+  return 0;
+}
+
+int cmd_verify(const args& a) {
+  const dims3 dims = parse_dims(a.require("--dims"));
+  const auto x = data::load_f32_field(a.require("-a"), dims);
+  const auto y = data::load_f32_field(a.require("-b"), dims);
+  const auto err = metrics::compare(x, y);
+  std::printf("max |error| : %.6e\n", err.max_abs_err);
+  std::printf("PSNR        : %.2f dB\n", err.psnr);
+  std::printf("NRMSE       : %.6e\n", err.nrmse);
+  std::printf("value range : %.6e\n", err.range);
+  return 0;
+}
+
+int cmd_selftest() {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "fzmod_cli_selftest";
+  fs::create_directories(dir);
+  const auto raw = (dir / "hurr0.f32").string();
+  const auto packed = (dir / "hurr0.fzmod").string();
+  const auto out = (dir / "hurr0.out.f32").string();
+
+  const auto ds = data::describe(data::dataset_id::hurr);
+  const auto v = data::generate(ds, 0);
+  data::store_f32_field(raw, v);
+
+  core::pipeline<f32> pipe(
+      core::pipeline_config::preset_default({1e-4, eb_mode::rel}));
+  const auto field = data::load_f32_field(raw, ds.dims);
+  data::write_file(packed, pipe.compress(field, ds.dims));
+  data::store_f32_field(out, pipe.decompress(data::read_file(packed)));
+
+  const auto err =
+      metrics::compare(field, data::load_f32_field(out, ds.dims));
+  const bool ok = err.max_abs_err <=
+                  metrics::f32_bound_slack(1e-4 * err.range, err.range);
+  std::printf("selftest %s (max err %.3e, bound %.3e)\n",
+              ok ? "PASSED" : "FAILED", err.max_abs_err, 1e-4 * err.range);
+  fs::remove_all(dir);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const args a(argc, argv, 2);
+    if (cmd == "compress") return cmd_compress(a);
+    if (cmd == "decompress") return cmd_decompress(a);
+    if (cmd == "inspect") return cmd_inspect(a);
+    if (cmd == "gen") return cmd_gen(a);
+    if (cmd == "verify") return cmd_verify(a);
+    if (cmd == "selftest") return cmd_selftest();
+    usage(("unknown command: " + cmd).c_str());
+  } catch (const error& e) {
+    std::fprintf(stderr, "fzmod: %s\n", e.what());
+    return 1;
+  }
+}
