@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stf.dir/bench_ablation_stf.cc.o"
+  "CMakeFiles/bench_ablation_stf.dir/bench_ablation_stf.cc.o.d"
+  "bench_ablation_stf"
+  "bench_ablation_stf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

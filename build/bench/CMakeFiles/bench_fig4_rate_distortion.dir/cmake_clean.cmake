@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rate_distortion.dir/bench_fig4_rate_distortion.cc.o"
+  "CMakeFiles/bench_fig4_rate_distortion.dir/bench_fig4_rate_distortion.cc.o.d"
+  "bench_fig4_rate_distortion"
+  "bench_fig4_rate_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_climate_snapshot.dir/climate_snapshot.cc.o"
+  "CMakeFiles/example_climate_snapshot.dir/climate_snapshot.cc.o.d"
+  "climate_snapshot"
+  "climate_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_climate_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

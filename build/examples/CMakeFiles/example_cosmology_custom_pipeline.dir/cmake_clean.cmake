@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cosmology_custom_pipeline.dir/cosmology_custom_pipeline.cc.o"
+  "CMakeFiles/example_cosmology_custom_pipeline.dir/cosmology_custom_pipeline.cc.o.d"
+  "cosmology_custom_pipeline"
+  "cosmology_custom_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cosmology_custom_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

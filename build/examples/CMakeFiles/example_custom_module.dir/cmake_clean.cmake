@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_module.dir/custom_module.cc.o"
+  "CMakeFiles/example_custom_module.dir/custom_module.cc.o.d"
+  "custom_module"
+  "custom_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stf_overlap_demo.dir/stf_overlap_demo.cc.o"
+  "CMakeFiles/example_stf_overlap_demo.dir/stf_overlap_demo.cc.o.d"
+  "stf_overlap_demo"
+  "stf_overlap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stf_overlap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

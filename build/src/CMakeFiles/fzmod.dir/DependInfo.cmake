@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fzmod/baselines/compressor.cc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/compressor.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/compressor.cc.o.d"
+  "/root/repo/src/fzmod/baselines/cuszp2.cc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/cuszp2.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/cuszp2.cc.o.d"
+  "/root/repo/src/fzmod/baselines/fzgpu.cc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/fzgpu.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/fzgpu.cc.o.d"
+  "/root/repo/src/fzmod/baselines/pfpl.cc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/pfpl.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/pfpl.cc.o.d"
+  "/root/repo/src/fzmod/baselines/sz3.cc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/sz3.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/baselines/sz3.cc.o.d"
+  "/root/repo/src/fzmod/core/autotune.cc" "src/CMakeFiles/fzmod.dir/fzmod/core/autotune.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/core/autotune.cc.o.d"
+  "/root/repo/src/fzmod/core/builtin_modules.cc" "src/CMakeFiles/fzmod.dir/fzmod/core/builtin_modules.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/core/builtin_modules.cc.o.d"
+  "/root/repo/src/fzmod/core/pipeline.cc" "src/CMakeFiles/fzmod.dir/fzmod/core/pipeline.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/core/pipeline.cc.o.d"
+  "/root/repo/src/fzmod/core/snapshot.cc" "src/CMakeFiles/fzmod.dir/fzmod/core/snapshot.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/core/snapshot.cc.o.d"
+  "/root/repo/src/fzmod/core/stf_pipeline.cc" "src/CMakeFiles/fzmod.dir/fzmod/core/stf_pipeline.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/core/stf_pipeline.cc.o.d"
+  "/root/repo/src/fzmod/data/datasets.cc" "src/CMakeFiles/fzmod.dir/fzmod/data/datasets.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/data/datasets.cc.o.d"
+  "/root/repo/src/fzmod/data/io.cc" "src/CMakeFiles/fzmod.dir/fzmod/data/io.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/data/io.cc.o.d"
+  "/root/repo/src/fzmod/encoders/fzg.cc" "src/CMakeFiles/fzmod.dir/fzmod/encoders/fzg.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/encoders/fzg.cc.o.d"
+  "/root/repo/src/fzmod/encoders/huffman.cc" "src/CMakeFiles/fzmod.dir/fzmod/encoders/huffman.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/encoders/huffman.cc.o.d"
+  "/root/repo/src/fzmod/lossless/lz.cc" "src/CMakeFiles/fzmod.dir/fzmod/lossless/lz.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/lossless/lz.cc.o.d"
+  "/root/repo/src/fzmod/metrics/metrics.cc" "src/CMakeFiles/fzmod.dir/fzmod/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/metrics/metrics.cc.o.d"
+  "/root/repo/src/fzmod/predictors/interp.cc" "src/CMakeFiles/fzmod.dir/fzmod/predictors/interp.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/predictors/interp.cc.o.d"
+  "/root/repo/src/fzmod/predictors/lorenzo.cc" "src/CMakeFiles/fzmod.dir/fzmod/predictors/lorenzo.cc.o" "gcc" "src/CMakeFiles/fzmod.dir/fzmod/predictors/lorenzo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archive_compat.dir/test_archive_compat.cc.o"
+  "CMakeFiles/test_archive_compat.dir/test_archive_compat.cc.o.d"
+  "test_archive_compat"
+  "test_archive_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archive_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_bounds.dir/test_error_bounds.cc.o"
+  "CMakeFiles/test_error_bounds.dir/test_error_bounds.cc.o.d"
+  "test_error_bounds"
+  "test_error_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_length.dir/test_fixed_length.cc.o"
+  "CMakeFiles/test_fixed_length.dir/test_fixed_length.cc.o.d"
+  "test_fixed_length"
+  "test_fixed_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fzg.dir/test_fzg.cc.o"
+  "CMakeFiles/test_fzg.dir/test_fzg.cc.o.d"
+  "test_fzg"
+  "test_fzg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fzg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modules_extra.dir/test_modules_extra.cc.o"
+  "CMakeFiles/test_modules_extra.dir/test_modules_extra.cc.o.d"
+  "test_modules_extra"
+  "test_modules_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modules_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_props.dir/test_predictor_props.cc.o"
+  "CMakeFiles/test_predictor_props.dir/test_predictor_props.cc.o.d"
+  "test_predictor_props"
+  "test_predictor_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

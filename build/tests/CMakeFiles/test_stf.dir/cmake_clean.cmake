@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stf.dir/test_stf.cc.o"
+  "CMakeFiles/test_stf.dir/test_stf.cc.o.d"
+  "test_stf"
+  "test_stf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stf.
+# This may be replaced when dependencies are built.

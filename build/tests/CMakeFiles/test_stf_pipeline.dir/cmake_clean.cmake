@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stf_pipeline.dir/test_stf_pipeline.cc.o"
+  "CMakeFiles/test_stf_pipeline.dir/test_stf_pipeline.cc.o.d"
+  "test_stf_pipeline"
+  "test_stf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stf_stress.dir/test_stf_stress.cc.o"
+  "CMakeFiles/test_stf_stress.dir/test_stf_stress.cc.o.d"
+  "test_stf_stress"
+  "test_stf_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stf_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

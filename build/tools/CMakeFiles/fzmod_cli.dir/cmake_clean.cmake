@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fzmod_cli.dir/fzmod_cli.cc.o"
+  "CMakeFiles/fzmod_cli.dir/fzmod_cli.cc.o.d"
+  "fzmod"
+  "fzmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fzmod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
