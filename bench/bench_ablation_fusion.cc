@@ -23,6 +23,7 @@ int main() {
     for (const char* name : {"FZ-GPU", "FZMod-Speed"}) {
       auto c = baselines::make(name);
       st.reset_transfers();
+      st.reset_peak();
       const auto r = bench::run_compressor(*c, field, ds.dims,
                                            {1e-4, eb_mode::rel});
       std::printf("%-10s %-14s %12.2f %12.3f %12.3f %10llu\n",

@@ -6,6 +6,9 @@
 //   FZMOD_FULLSCALE=1     paper-sized datasets (slow; default scaled-down)
 //   FZMOD_BENCH_FIELDS=N  fields averaged per dataset (default 2)
 //   FZMOD_BENCH_REPS=N    timing repetitions, best-of (default 1)
+//   FZMOD_BENCH_JSON=path append machine-readable JSON lines (one object
+//                         per run_result) alongside the unchanged tables,
+//                         so result trajectories are trackable across PRs
 #pragma once
 
 #include <cstdio>
@@ -37,11 +40,46 @@ struct run_result {
   u64 archive_bytes = 0;
 };
 
+/// Bench binaries set this once so JSON lines carry their origin.
+inline const char*& bench_json_name() {
+  static const char* name = "bench";
+  return name;
+}
+
+/// Append sink for FZMOD_BENCH_JSON; nullptr when the knob is unset.
+inline std::FILE* bench_json_stream() {
+  static std::FILE* f = [] {
+    const char* path = std::getenv("FZMOD_BENCH_JSON");
+    return path ? std::fopen(path, "a") : nullptr;
+  }();
+  return f;
+}
+
+/// One JSON line per run_result. Called automatically by run_on_dataset;
+/// benches with bespoke result shapes write their own lines through
+/// bench_json_stream().
+inline void json_append(const std::string& label, const run_result& r) {
+  std::FILE* f = bench_json_stream();
+  if (!f) return;
+  std::fprintf(
+      f,
+      "{\"bench\":\"%s\",\"label\":\"%s\",\"cr\":%.6g,"
+      "\"comp_gbps\":%.6g,\"decomp_gbps\":%.6g,\"bit_rate\":%.6g,"
+      "\"psnr\":%.6g,\"max_abs_err\":%.6g,\"archive_bytes\":%llu}\n",
+      bench_json_name(), label.c_str(), r.cr, r.comp_gbps, r.decomp_gbps,
+      r.bit_rate, r.err.psnr, r.err.max_abs_err,
+      static_cast<unsigned long long>(r.archive_bytes));
+  std::fflush(f);
+}
+
 /// One timed compress+decompress of `c` on a field. Throughput is
 /// end-to-end (includes H2D/D2H and serialization), best of `reps`.
+/// Emits one FZMOD_BENCH_JSON line per call, labelled `label` (the
+/// compressor name when the caller does not qualify it).
 inline run_result run_compressor(baselines::compressor& c,
                                  std::span<const f32> data, dims3 dims,
-                                 eb_config eb, int reps = timing_reps()) {
+                                 eb_config eb, int reps = timing_reps(),
+                                 const std::string& label = {}) {
   run_result r;
   const u64 bytes = data.size() * sizeof(f32);
   std::vector<u8> archive;
@@ -61,6 +99,7 @@ inline run_result run_compressor(baselines::compressor& c,
   r.comp_gbps = throughput_gbps(bytes, best_comp);
   r.decomp_gbps = throughput_gbps(bytes, best_decomp);
   r.err = metrics::compare(data, rec);
+  json_append(label.empty() ? std::string(c.name()) : label, r);
   return r;
 }
 
@@ -72,7 +111,10 @@ inline run_result run_on_dataset(baselines::compressor& c,
   const int n = std::min(nfields, ds.n_fields);
   for (int f = 0; f < n; ++f) {
     const auto field = data::generate(ds, f);
-    const auto r = run_compressor(c, field, ds.dims, eb);
+    const auto r =
+        run_compressor(c, field, ds.dims, eb, timing_reps(),
+                       std::string(c.name()) + "/" + ds.name + "/f" +
+                           std::to_string(f));
     avg.cr += r.cr / n;
     avg.comp_gbps += r.comp_gbps / n;
     avg.decomp_gbps += r.decomp_gbps / n;
@@ -81,6 +123,7 @@ inline run_result run_on_dataset(baselines::compressor& c,
     avg.err.max_abs_err = std::max(avg.err.max_abs_err, r.err.max_abs_err);
     avg.err.psnr += r.err.psnr / n;
   }
+  json_append(std::string(c.name()) + "/" + ds.name, avg);
   return avg;
 }
 

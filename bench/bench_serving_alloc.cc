@@ -1,0 +1,219 @@
+// Serving-workload allocation bench: many small repeated compress +
+// decompress calls on one pipeline, the request shape a serving-grade
+// deployment sees (ROADMAP north star). Reports, for pool-off vs pool-on:
+//
+//   - system allocs/op       every ::operator new in the process, counted
+//                            by the replacement operators below (archive
+//                            assembly and codec internals included)
+//   - runtime allocs/op      system allocations made by the device
+//                            runtime's allocator = pool misses; the
+//                            zero-steady-state-allocation contract says
+//                            this is 0 after warm-up
+//   - pool hit rate          over the measured window (target: >= 95%)
+//   - throughput             end-to-end ops/s and GB/s, plus the on/off
+//                            delta
+//
+// Knobs: FZMOD_POOL=0 disables the pool process-wide (the bench also
+// toggles it programmatically to measure both modes in one run);
+// FZMOD_SERVING_OPS=N measured ops per mode (default 200);
+// FZMOD_BENCH_CHECK=1 exits nonzero if the pool hit rate is below 90%
+// (CI smoke); FZMOD_BENCH_JSON=path appends machine-readable lines.
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hh"
+#include "fzmod/core/pipeline.hh"
+
+// ---- allocation counting ------------------------------------------------
+// Replacement global operators: count every heap request the process
+// makes. Counting is the entire point of this binary, so the override
+// lives here and nowhere else in the repo.
+
+namespace {
+std::atomic<unsigned long long> g_allocs{0};
+std::atomic<unsigned long long> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t sz, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(sz, std::memory_order_relaxed);
+  if (align <= alignof(std::max_align_t)) {
+    void* p = std::malloc(sz ? sz : 1);
+    if (!p) throw std::bad_alloc();
+    return p;
+  }
+  const std::size_t rounded = (sz + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  return counted_alloc(sz, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t sz) {
+  return counted_alloc(sz, alignof(std::max_align_t));
+}
+void* operator new(std::size_t sz, std::align_val_t al) {
+  return counted_alloc(sz, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return counted_alloc(sz, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---- the workload -------------------------------------------------------
+
+namespace fzmod {
+namespace {
+
+struct mode_report {
+  f64 allocs_per_op = 0;
+  f64 runtime_allocs_per_op = 0;
+  f64 hit_rate = 0;
+  f64 ops_per_s = 0;
+  f64 gbps = 0;
+};
+
+mode_report run_mode(core::pipeline<f32>& p, const device::buffer<f32>& dev,
+                     device::buffer<f32>& out, dims3 dims, bool pool_on,
+                     int warmup_ops, int measured_ops) {
+  auto& rt = device::runtime::instance();
+  rt.set_pool_enabled(pool_on);
+
+  device::stream s;
+  auto one_op = [&] {
+    const auto archive = p.compress(dev, dims, s);
+    p.decompress(archive, out, s);
+    return archive.size();
+  };
+
+  for (int i = 0; i < warmup_ops; ++i) (void)one_op();
+
+  auto& st = rt.stats();
+  st.reset_transfers();
+  st.reset_peak();
+  st.reset_pool_counters();
+  const unsigned long long allocs0 = g_allocs.load();
+  const u64 miss0 = st.device_pool.misses.load() + st.host_pool.misses.load();
+  stopwatch sw;
+  for (int i = 0; i < measured_ops; ++i) (void)one_op();
+  const f64 secs = sw.seconds();
+  const unsigned long long allocs1 = g_allocs.load();
+  const u64 miss1 = st.device_pool.misses.load() + st.host_pool.misses.load();
+
+  mode_report r;
+  r.allocs_per_op =
+      static_cast<f64>(allocs1 - allocs0) / measured_ops;
+  r.runtime_allocs_per_op = static_cast<f64>(miss1 - miss0) / measured_ops;
+  const u64 hits =
+      st.device_pool.hits.load() + st.host_pool.hits.load();
+  const u64 misses = miss1 - miss0;
+  r.hit_rate = hits + misses
+                   ? static_cast<f64>(hits) / static_cast<f64>(hits + misses)
+                   : 0.0;
+  r.ops_per_s = measured_ops / secs;
+  r.gbps = throughput_gbps(dev.bytes() * measured_ops, secs);
+  return r;
+}
+
+int serving_main() {
+  const dims3 dims{64, 64, 16};
+  const std::size_t n = dims.len();
+  const int warmup_ops = bench::env_int("FZMOD_SERVING_WARMUP", 5);
+  const int measured_ops = bench::env_int("FZMOD_SERVING_OPS", 200);
+  bench::bench_json_name() = "serving_alloc";
+
+  // Small smooth field: the "many small requests" regime where per-call
+  // allocator overhead is the largest fraction of op cost.
+  std::vector<f32> host(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const f64 x = static_cast<f64>(i % dims.x) / dims.x;
+    const f64 y = static_cast<f64>((i / dims.x) % dims.y) / dims.y;
+    const f64 z = static_cast<f64>(i / (dims.x * dims.y)) / dims.z;
+    host[i] = static_cast<f32>(std::sin(6.0 * x) * std::cos(4.0 * y) +
+                               0.3 * std::sin(9.0 * z));
+  }
+
+  core::pipeline<f32> p(
+      core::pipeline_config::preset_default({1e-3, eb_mode::rel}));
+  device::stream s;
+  device::buffer<f32> dev(n, device::space::device);
+  device::buffer<f32> out(n, device::space::device);
+  device::memcpy_async(dev.data(), host.data(), n * sizeof(f32),
+                       device::copy_kind::h2d, s);
+  s.sync();
+
+  bench::print_header(
+      "serving allocation bench — repeated small compress+decompress "
+      "(FZMod-Default, 64x64x16 f32)");
+  std::printf("%-10s %14s %16s %10s %12s %10s\n", "pool", "allocs/op",
+              "runtime allocs", "hit rate", "ops/s", "GB/s");
+  bench::print_rule(78);
+
+  const auto off = run_mode(p, dev, out, dims, /*pool_on=*/false,
+                            warmup_ops, measured_ops);
+  std::printf("%-10s %14.1f %16.2f %10s %12.1f %10.3f\n", "off",
+              off.allocs_per_op, off.runtime_allocs_per_op, "-",
+              off.ops_per_s, off.gbps);
+
+  const auto on = run_mode(p, dev, out, dims, /*pool_on=*/true,
+                           warmup_ops, measured_ops);
+  std::printf("%-10s %14.1f %16.2f %9.1f%% %12.1f %10.3f\n", "on",
+              on.allocs_per_op, on.runtime_allocs_per_op,
+              100.0 * on.hit_rate, on.ops_per_s, on.gbps);
+
+  bench::print_rule(78);
+  std::printf(
+      "pool on vs off: %.1fx ops/s, %.1f -> %.1f system allocs/op, "
+      "%.2f -> %.2f runtime allocs/op (steady-state target: 0)\n",
+      on.ops_per_s / off.ops_per_s, off.allocs_per_op, on.allocs_per_op,
+      off.runtime_allocs_per_op, on.runtime_allocs_per_op);
+
+  if (std::FILE* f = bench::bench_json_stream()) {
+    for (const auto* m : {&off, &on}) {
+      std::fprintf(
+          f,
+          "{\"bench\":\"serving_alloc\",\"pool\":%s,"
+          "\"allocs_per_op\":%.3f,\"runtime_allocs_per_op\":%.4f,"
+          "\"hit_rate\":%.4f,\"ops_per_s\":%.2f,\"gbps\":%.4f,"
+          "\"measured_ops\":%d}\n",
+          m == &on ? "true" : "false", m->allocs_per_op,
+          m->runtime_allocs_per_op, m->hit_rate, m->ops_per_s, m->gbps,
+          measured_ops);
+    }
+    std::fflush(f);
+  }
+
+  if (bench::env_int("FZMOD_BENCH_CHECK", 0)) {
+    if (on.hit_rate < 0.90) {
+      std::fprintf(stderr,
+                   "FZMOD_BENCH_CHECK: pool hit rate %.1f%% below 90%%\n",
+                   100.0 * on.hit_rate);
+      return 1;
+    }
+    std::printf("FZMOD_BENCH_CHECK: hit rate %.1f%% >= 90%% — ok\n",
+                100.0 * on.hit_rate);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fzmod
+
+int main() { return fzmod::serving_main(); }

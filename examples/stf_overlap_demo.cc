@@ -33,6 +33,7 @@ int main() {
 
   auto& st = device::runtime::instance().stats();
   st.reset_transfers();
+  st.reset_peak();
   stopwatch sw;
   const auto archive = core::stf_compress(field, ds.dims, eb);
   const f64 t_comp = sw.seconds();
@@ -63,14 +64,14 @@ int main() {
     auto x = ctx.make_data<i32>(4);
     auto y = ctx.make_data<i32>(4);
     auto z = ctx.make_data<i32>(4);
-    auto nop = [](device::stream&, device::buffer<i32>& d) {
-      d.fill_zero();
+    auto nop = [](device::stream& s, device::buffer<i32>& d) {
+      d.fill_zero_async(s);
     };
-    auto join = [](device::stream&, device::buffer<i32>& a,
+    auto join = [](device::stream& s, device::buffer<i32>& a,
                    device::buffer<i32>& b, device::buffer<i32>& out) {
       (void)a;
       (void)b;
-      out.fill_zero();
+      out.fill_zero_async(s);
     };
     ctx.submit("huffman-decode", stf::place::host, nop, stf::write(x));
     ctx.submit("outlier-scatter", stf::place::device, nop, stf::write(y));

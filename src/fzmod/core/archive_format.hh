@@ -89,8 +89,9 @@ inline u64 get_varint(const u8*& p, const u8* end) {
 /// coded, values zigzag+varint coded (~3-5 bytes per outlier instead of
 /// the in-memory 16). At tight bounds on hard data the outlier section
 /// dominates the archive, so this matters for Table 3's 1e-6 rows.
-inline std::vector<u8> pack_outliers(
-    std::vector<kernels::outlier> outliers) {
+/// Span form sorts the caller's storage in place — callers with a
+/// reusable scratch list (pipeline hot path) avoid the by-value copy.
+inline std::vector<u8> pack_outliers(std::span<kernels::outlier> outliers) {
   std::sort(outliers.begin(), outliers.end(),
             [](const auto& a, const auto& b) { return a.index < b.index; });
   std::vector<u8> out;
@@ -102,6 +103,11 @@ inline std::vector<u8> pack_outliers(
     put_varint(out, zigzag_encode64(o.value));
   }
   return out;
+}
+
+inline std::vector<u8> pack_outliers(
+    std::vector<kernels::outlier> outliers) {
+  return pack_outliers(std::span<kernels::outlier>(outliers));
 }
 
 inline std::vector<kernels::outlier> unpack_outliers(

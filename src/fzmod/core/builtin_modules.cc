@@ -171,25 +171,32 @@ class huffman_codec final : public codec_module {
                                        const pipeline_config& cfg,
                                        device::stream& s) override {
     const std::size_t nbins = 2 * static_cast<std::size_t>(radius);
-    device::buffer<u32> bins(nbins, device::space::device);
-    kernels::histogram_dispatch_async(cfg.histogram, codes, bins, s);
+    bins_.ensure(nbins, device::space::device);
+    kernels::histogram_dispatch_async(cfg.histogram, codes, bins_, s);
 
-    device::buffer<u16> host_codes(codes.size(), device::space::host);
-    device::buffer<u32> host_bins(nbins, device::space::host);
-    device::copy_async(host_codes, codes, s);
-    device::copy_async(host_bins, bins, s);
+    host_codes_.ensure(codes.size(), device::space::host);
+    host_bins_.ensure(nbins, device::space::host);
+    device::copy_async(host_codes_, codes, s);
+    device::copy_async(host_bins_, bins_, s);
     s.sync();
 
-    return encoders::huffman_encode(host_codes.span(), host_bins.span());
+    return encoders::huffman_encode(host_codes_.span(), host_bins_.span());
   }
 
   void decode(std::span<const u8> blob, int /*radius*/,
               device::buffer<u16>& codes, device::stream& s) override {
-    device::buffer<u16> host_codes(codes.size(), device::space::host);
-    encoders::huffman_decode(blob, host_codes.span());
-    device::copy_async(codes, host_codes, s);
+    host_codes_.ensure(codes.size(), device::space::host);
+    encoders::huffman_decode(blob, host_codes_.span());
+    device::copy_async(codes, host_codes_, s);
     s.sync();
   }
+
+ private:
+  // Staging scratch retained across calls (a codec instance belongs to one
+  // pipeline and is driven by one call at a time).
+  device::buffer<u32> bins_;
+  device::buffer<u16> host_codes_;
+  device::buffer<u32> host_bins_;
 };
 
 /// Device-resident FZ-GPU encoder: bitshuffle + dictionary on the device,
@@ -265,19 +272,22 @@ class flen_codec final : public codec_module {
   [[nodiscard]] std::vector<u8> encode(const device::buffer<u16>& codes,
                                        int radius, const pipeline_config&,
                                        device::stream& s) override {
-    device::buffer<u16> host_codes(codes.size(), device::space::host);
-    device::copy_async(host_codes, codes, s);
+    host_codes_.ensure(codes.size(), device::space::host);
+    device::copy_async(host_codes_, codes, s);
     s.sync();
-    return encoders::fixed_length_encode(host_codes.span(), radius);
+    return encoders::fixed_length_encode(host_codes_.span(), radius);
   }
 
   void decode(std::span<const u8> blob, int radius,
               device::buffer<u16>& codes, device::stream& s) override {
-    device::buffer<u16> host_codes(codes.size(), device::space::host);
-    encoders::fixed_length_decode(blob, radius, host_codes.span());
-    device::copy_async(codes, host_codes, s);
+    host_codes_.ensure(codes.size(), device::space::host);
+    encoders::fixed_length_decode(blob, radius, host_codes_.span());
+    device::copy_async(codes, host_codes_, s);
     s.sync();
   }
+
+ private:
+  device::buffer<u16> host_codes_;  // D2H staging, retained across calls
 };
 
 template <class T>

@@ -103,20 +103,22 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
 
   // Stage 1: preprocess — optional value transform, then bound
   // resolution (against the transformed values, where the bound applies).
-  device::buffer<T> transformed;
+  // All stage scratch (the transformed field, the quant_field IR, the
+  // anchors) is retained in members across calls, so steady-state
+  // invocations reuse their working set instead of reallocating it.
   const device::buffer<T>* src = &data;
   if (preprocessor_->transforms()) {
-    transformed = device::buffer<T>(data.size(), device::space::device);
-    preprocessor_->forward(data, transformed, s);
-    src = &transformed;
+    transformed_scratch_.ensure(data.size(), device::space::device);
+    preprocessor_->forward(data, transformed_scratch_, s);
+    src = &transformed_scratch_;
   }
   const f64 ebx2 = preprocessor_->resolve_ebx2(*src, cfg_.eb, s);
   compress_timings_.preprocess = sw.seconds();
 
   // Stage 2: predict + quantize.
   sw.reset();
-  predictors::quant_field field;
-  predictors::interp_anchors anchors;
+  predictors::quant_field& field = compress_field_;
+  predictors::interp_anchors& anchors = compress_anchors_;
   predictor_->compress(*src, dims, ebx2, cfg_.radius, field, anchors, s);
   s.sync();
   compress_timings_.predict = sw.seconds();
@@ -149,16 +151,17 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   hdr.anchor_stride = anchors.stride;
   hdr.codec_bytes = codec_blob.size();
 
-  // Outliers cross D2H raw, then pack to the varint wire format.
-  std::vector<kernels::outlier> outlier_list(field.n_outliers);
+  // Outliers cross D2H raw (into retained scratch), then pack to the
+  // varint wire format.
+  outlier_scratch_.resize(field.n_outliers);
   if (field.n_outliers) {
-    device::memcpy_async(outlier_list.data(), field.outliers.data(),
+    device::memcpy_async(outlier_scratch_.data(), field.outliers.data(),
                          field.n_outliers * sizeof(kernels::outlier),
                          device::copy_kind::d2h, s);
     s.sync();
   }
   const std::vector<u8> packed_outliers =
-      fmt::pack_outliers(std::move(outlier_list));
+      fmt::pack_outliers(std::span<kernels::outlier>(outlier_scratch_));
   hdr.outlier_bytes = packed_outliers.size();
 
   // Value outliers are collected from concurrent kernels in scheduling
@@ -276,13 +279,13 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   auto predictor = reg.make_predictor(get_name(hdr.predictor));
   auto codec = reg.make_codec(get_name(hdr.codec));
 
-  // Rebuild the quant_field IR.
+  // Rebuild the quant_field IR into retained scratch.
   sw.reset();
-  predictors::quant_field field;
+  predictors::quant_field& field = decompress_field_;
   field.dims = dims;
   field.radius = hdr.radius;
   field.ebx2 = hdr.ebx2;
-  field.codes = device::buffer<u16>(dims.len(), device::space::device);
+  field.codes.ensure(dims.len(), device::space::device);
   const u8* p = body.data() + sizeof(hdr);
   codec->decode({p, hdr.codec_bytes}, hdr.radius, field.codes, s);
   p += hdr.codec_bytes;
@@ -290,8 +293,7 @@ void pipeline<T>::decompress(std::span<const u8> archive,
 
   sw.reset();
   field.n_outliers = hdr.n_outliers;
-  field.outliers = device::buffer<kernels::outlier>(hdr.n_outliers,
-                                                    device::space::device);
+  field.outliers.ensure(hdr.n_outliers, device::space::device);
   if (hdr.n_outliers) {
     const auto unpacked =
         fmt::unpack_outliers({p, hdr.outlier_bytes}, hdr.n_outliers);
@@ -309,7 +311,7 @@ void pipeline<T>::decompress(std::span<const u8> archive,
     val = r.value;
     p += sizeof(r);
   }
-  predictors::interp_anchors anchors;
+  predictors::interp_anchors& anchors = decompress_anchors_;
   anchors.stride = hdr.anchor_stride;
   anchors.lattice.resize(hdr.n_anchors);
   if (anchor_bytes) std::memcpy(anchors.lattice.data(), p, anchor_bytes);

@@ -87,6 +87,20 @@ class pipeline {
   std::unique_ptr<codec_module> codec_;
   stage_timings compress_timings_;
   stage_timings decompress_timings_;
+
+  // Per-call scratch, retained across invocations: a pipeline serving
+  // repeated same-shaped requests re-acquires this whole working set via
+  // capacity checks (buffer::ensure) instead of allocations, which —
+  // together with the runtime's caching pools — is the zero-steady-state-
+  // allocation contract documented in docs/RUNTIME.md. A pipeline object
+  // is not thread-safe across concurrent calls (it never was: stage
+  // timings are members); use one pipeline per serving thread.
+  device::buffer<T> transformed_scratch_;
+  predictors::quant_field compress_field_;
+  predictors::interp_anchors compress_anchors_;
+  predictors::quant_field decompress_field_;
+  predictors::interp_anchors decompress_anchors_;
+  std::vector<kernels::outlier> outlier_scratch_;
 };
 
 }  // namespace fzmod::core

@@ -303,7 +303,7 @@ std::vector<f32> stf_decompress(std::span<const u8> archive) {
       [outliers](device::stream& s, device::buffer<i32>& odelta) {
         i32* dp = odelta.data();
         const std::size_t count = odelta.size();
-        device::launch(s, count, [dp](std::size_t i) { dp[i] = 0; });
+        odelta.fill_zero_async(s);
         const auto* src = outliers->data();
         device::launch(s, outliers->size(),
                        [src, dp, count, outliers](std::size_t k) {

@@ -12,20 +12,26 @@
 // device buffers (and vice versa); transfers between the spaces are
 // explicit, byte-copying, stream-ordered operations whose volume is
 // tracked, so pipelines pay — and benches can report — real movement costs.
+//
+// Allocation in both spaces goes through stream-ordered caching pools
+// (memory_pool.hh), so steady-state pipeline runs reuse their scratch
+// blocks in O(1) instead of round-tripping the system allocator per call.
+// See docs/RUNTIME.md for the pool design and the zero-steady-state-
+// allocation contract.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 
 #include "fzmod/common/error.hh"
 #include "fzmod/common/types.hh"
+#include "fzmod/device/memory_pool.hh"
+#include "fzmod/device/task.hh"
 #include "fzmod/device/thread_pool.hh"
 
 namespace fzmod::device {
@@ -39,6 +45,7 @@ enum class space : u8 { host, device };
 enum class copy_kind : u8 { h2h, h2d, d2h, d2d };
 
 /// Cumulative transfer/launch counters, readable by benches and tests.
+/// Pool counters are per memory space (device and host caching pools).
 struct runtime_stats {
   std::atomic<u64> h2d_bytes{0};
   std::atomic<u64> d2h_bytes{0};
@@ -46,6 +53,8 @@ struct runtime_stats {
   std::atomic<u64> kernels_launched{0};
   std::atomic<u64> device_bytes_in_use{0};
   std::atomic<u64> device_bytes_peak{0};
+  pool_stats device_pool;
+  pool_stats host_pool;
 
   void reset_transfers() {
     h2d_bytes = 0;
@@ -53,10 +62,22 @@ struct runtime_stats {
     d2d_bytes = 0;
     kernels_launched = 0;
   }
+
+  /// Rebase the device high-water mark to the memory currently live.
+  /// Benches/tests that reset counters between sections call this so one
+  /// section's peak does not leak into the next section's report.
+  void reset_peak() {
+    device_bytes_peak = device_bytes_in_use.load();
+  }
+
+  void reset_pool_counters() {
+    device_pool.reset_counters();
+    host_pool.reset_counters();
+  }
 };
 
-/// Process-wide runtime: owns the worker pool and the device heap
-/// accounting. Thread-safe.
+/// Process-wide runtime: owns the worker pool, the device heap accounting,
+/// and the per-space caching memory pools. Thread-safe.
 class runtime {
  public:
   static runtime& instance() {
@@ -66,9 +87,13 @@ class runtime {
 
   thread_pool& pool() { return pool_; }
   runtime_stats& stats() { return stats_; }
+  memory_pool& device_pool() { return device_pool_; }
+  memory_pool& host_pool() { return host_pool_; }
 
   [[nodiscard]] void* device_alloc(std::size_t bytes) {
-    void* p = ::operator new(bytes, std::align_val_t{64});
+    void* p = device_pool_.allocate(bytes);
+    // Accounting charges the caller's exact request; bin rounding is the
+    // pool's internal capacity and never reaches these counters.
     const u64 in_use =
         stats_.device_bytes_in_use.fetch_add(bytes) + bytes;
     u64 peak = stats_.device_bytes_peak.load();
@@ -79,22 +104,63 @@ class runtime {
   }
 
   void device_free(void* p, std::size_t bytes) {
-    ::operator delete(p, std::align_val_t{64});
+    device_pool_.deallocate(p, bytes);
     stats_.device_bytes_in_use.fetch_sub(bytes);
   }
+
+  [[nodiscard]] void* host_alloc(std::size_t bytes) {
+    return host_pool_.allocate(bytes);
+  }
+
+  void host_free(void* p, std::size_t bytes) {
+    host_pool_.deallocate(p, bytes);
+  }
+
+  /// Release every cached block in both pools back to the system;
+  /// returns the total bytes released.
+  u64 trim_pools() { return device_pool_.trim() + host_pool_.trim(); }
+
+  /// Runtime A/B switch for both pools (FZMOD_POOL=0 sets the startup
+  /// default; benches toggle this to measure pool-on vs pool-off).
+  void set_pool_enabled(bool on) {
+    device_pool_.set_enabled(on);
+    host_pool_.set_enabled(on);
+  }
+
+  [[nodiscard]] bool pool_enabled() const { return device_pool_.enabled(); }
 
   /// Grain used when decomposing kernel launches ("block size").
   [[nodiscard]] std::size_t default_block() const { return 1u << 14; }
 
  private:
-  runtime() = default;
-  thread_pool pool_;
+  [[nodiscard]] static bool pool_env_enabled() {
+    const char* v = std::getenv("FZMOD_POOL");
+    return !(v && v[0] == '0' && v[1] == '\0');
+  }
+
+  runtime()
+      : device_pool_(stats_.device_pool, pool_env_enabled()),
+        host_pool_(stats_.host_pool, pool_env_enabled()) {}
+
+  // Declaration order fixes destruction order: the worker pool is declared
+  // last so its destructor joins every worker before the memory pools (or
+  // the stats they record into) are torn down.
   runtime_stats stats_;
+  memory_pool device_pool_;
+  memory_pool host_pool_;
+  thread_pool pool_;
 };
+
+class stream;
 
 /// Typed allocation pinned to one memory space. RAII; movable, not
 /// copyable. Element access from the "wrong" side is a programming error
 /// that `assert_space` makes loud in tests.
+///
+/// A buffer remembers its allocated capacity separately from its logical
+/// size: `ensure()` shrinks/regrows the view in place whenever the
+/// existing block is large enough, which (together with the caching pools)
+/// is what lets pipeline scratch reach zero steady-state allocations.
 template <class T>
 class buffer {
  public:
@@ -103,11 +169,11 @@ class buffer {
   explicit buffer(std::size_t n, space sp = space::device)
       : n_(n), space_(sp) {
     if (n_ == 0) return;
-    const std::size_t bytes = n_ * sizeof(T);
+    cap_bytes_ = n_ * sizeof(T);
     if (space_ == space::device) {
-      ptr_ = static_cast<T*>(runtime::instance().device_alloc(bytes));
+      ptr_ = static_cast<T*>(runtime::instance().device_alloc(cap_bytes_));
     } else {
-      ptr_ = static_cast<T*>(::operator new(bytes, std::align_val_t{64}));
+      ptr_ = static_cast<T*>(runtime::instance().host_alloc(cap_bytes_));
     }
   }
 
@@ -128,11 +194,25 @@ class buffer {
   [[nodiscard]] const T* data() const { return ptr_; }
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] std::size_t bytes() const { return n_ * sizeof(T); }
+  [[nodiscard]] std::size_t capacity_bytes() const { return cap_bytes_; }
   [[nodiscard]] bool empty() const { return n_ == 0; }
   [[nodiscard]] space where() const { return space_; }
 
   [[nodiscard]] std::span<T> span() { return {ptr_, n_}; }
   [[nodiscard]] std::span<const T> span() const { return {ptr_, n_}; }
+
+  /// Resize-discard: make the buffer view n elements in `sp`, reusing the
+  /// current allocation when it is big enough and in the right space.
+  /// Contents are unspecified afterwards (like a fresh buffer). This is
+  /// the hot-path primitive for per-call scratch: steady-state calls with
+  /// stable sizes never release or acquire memory.
+  void ensure(std::size_t n, space sp = space::device) {
+    if (ptr_ && space_ == sp && n * sizeof(T) <= cap_bytes_) {
+      n_ = n;
+      return;
+    }
+    *this = buffer<T>(n, sp);
+  }
 
   void assert_space(space expected) const {
     FZMOD_REQUIRE(space_ == expected, status::invalid_argument,
@@ -140,36 +220,48 @@ class buffer {
                       " memory, expected " + to_string(expected));
   }
 
+  /// Immediate host-side zeroing. Host buffers only: zeroing a device
+  /// buffer from the host thread would bypass stream ordering — use
+  /// fill_zero_async for device-resident data.
   void fill_zero() {
     if (ptr_) std::memset(ptr_, 0, bytes());
   }
+
+  /// Stream-ordered zeroing (the cudaMemsetAsync analogue). Counted as a
+  /// kernel launch in runtime_stats. Defined after `launch` below.
+  void fill_zero_async(stream& s);
 
  private:
   void release() {
     if (!ptr_) return;
     if (space_ == space::device) {
-      runtime::instance().device_free(ptr_, n_ * sizeof(T));
+      runtime::instance().device_free(ptr_, cap_bytes_);
     } else {
-      ::operator delete(ptr_, std::align_val_t{64});
+      runtime::instance().host_free(ptr_, cap_bytes_);
     }
     ptr_ = nullptr;
     n_ = 0;
+    cap_bytes_ = 0;
   }
 
   void swap(buffer& o) noexcept {
     std::swap(ptr_, o.ptr_);
     std::swap(n_, o.n_);
+    std::swap(cap_bytes_, o.cap_bytes_);
     std::swap(space_, o.space_);
   }
 
   T* ptr_ = nullptr;
   std::size_t n_ = 0;
+  std::size_t cap_bytes_ = 0;
   space space_ = space::device;
 };
 
 /// In-order asynchronous work queue, semantically a CUDA stream: operations
 /// enqueue immediately and execute FIFO on the pool; `sync()` blocks until
-/// the queue drains. Distinct streams run concurrently.
+/// the queue drains. Distinct streams run concurrently. Ops are SBO tasks
+/// in a capacity-retaining ring — enqueueing a kernel is allocation-free
+/// once the stream has warmed up.
 class stream {
  public:
   stream() = default;
@@ -178,9 +270,10 @@ class stream {
 
   ~stream() { sync(); }
 
-  void enqueue(std::function<void()> op) {
+  template <class F>
+  void enqueue(F&& op) {
     std::unique_lock lk(mu_);
-    ops_.push_back(std::move(op));
+    ops_.push(unique_task(std::forward<F>(op)));
     if (!running_) {
       running_ = true;
       lk.unlock();
@@ -201,7 +294,7 @@ class stream {
  private:
   void drain() {
     for (;;) {
-      std::function<void()> op;
+      unique_task op;
       {
         std::lock_guard lk(mu_);
         if (ops_.empty()) {
@@ -209,8 +302,7 @@ class stream {
           idle_cv_.notify_all();
           return;
         }
-        op = std::move(ops_.front());
-        ops_.pop_front();
+        op = ops_.pop();
       }
       try {
         op();
@@ -226,7 +318,7 @@ class stream {
 
   std::mutex mu_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> ops_;
+  task_ring ops_;
   std::exception_ptr pending_error_ = nullptr;
   bool running_ = false;
 };
@@ -346,6 +438,21 @@ void launch_blocks(stream& s, std::size_t n, std::size_t block, F body) {
 template <class F>
 void host_task(stream& s, F body) {
   s.enqueue(std::move(body));
+}
+
+template <class T>
+void buffer<T>::fill_zero_async(stream& s) {
+  if (!ptr_) return;
+  auto* p = reinterpret_cast<unsigned char*>(ptr_);
+  const std::size_t nbytes = bytes();
+  s.enqueue([p, nbytes] {
+    auto& rt = runtime::instance();
+    rt.stats().kernels_launched += 1;
+    rt.pool().parallel_for(nbytes, rt.default_block() * sizeof(T),
+                           [p](std::size_t lo, std::size_t hi) {
+                             std::memset(p + lo, 0, hi - lo);
+                           });
+  });
 }
 
 }  // namespace fzmod::device

@@ -1,0 +1,152 @@
+// FZModules — move-only callable with small-buffer optimization, plus a
+// capacity-retaining FIFO of them.
+//
+// `std::function` requires copyable targets and heap-allocates once a
+// closure outgrows its (implementation-defined, small) inline buffer; the
+// stream/pool hot path enqueues one closure per kernel launch, so those
+// heap hits dominate small-request serving workloads. `unique_task` keeps a
+// 128-byte inline slot — sized for launch closures that carry a kernel body
+// with a handful of captured pointers — accepts move-only captures
+// (promises, buffers), and only falls back to the heap for oversized
+// bodies. `task_ring` is the matching queue: a vector with a head cursor,
+// so steady-state push/pop touches no allocator once capacity is reached.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fzmod::device {
+
+class unique_task {
+ public:
+  static constexpr std::size_t inline_size = 128;
+  static constexpr std::size_t inline_align = 16;
+
+  unique_task() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, unique_task>>>
+  unique_task(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  unique_task(unique_task&& o) noexcept : vt_(o.vt_) {
+    if (vt_) vt_->relocate(storage_, o.storage_);
+    o.vt_ = nullptr;
+  }
+
+  unique_task& operator=(unique_task&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_) vt_->relocate(storage_, o.storage_);
+      o.vt_ = nullptr;
+    }
+    return *this;
+  }
+
+  unique_task(const unique_task&) = delete;
+  unique_task& operator=(const unique_task&) = delete;
+
+  ~unique_task() { reset(); }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct vtable {
+    void (*invoke)(void*);
+    // Move-construct into dst from src, then destroy src's payload.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= inline_size && alignof(Fn) <= inline_align &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static constexpr vtable inline_vtable = {
+      [](void* s) { (*static_cast<Fn*>(static_cast<void*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        auto* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <class Fn>
+  static constexpr vtable heap_vtable = {
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+  };
+
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(inline_align) unsigned char storage_[inline_size];
+  const vtable* vt_ = nullptr;
+};
+
+/// FIFO over a vector with a head cursor: pops advance the cursor and the
+/// backing storage is reclaimed wholesale when the queue drains (the
+/// common steady state for streams and the worker pool), so no per-element
+/// allocator traffic. If a queue never fully drains, the consumed prefix
+/// is compacted once it dominates the buffer, bounding growth.
+class task_ring {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+
+  void push(unique_task t) {
+    if (head_ > compact_threshold && head_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    buf_.push_back(std::move(t));
+  }
+
+  [[nodiscard]] unique_task pop() {
+    unique_task t = std::move(buf_[head_++]);
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    }
+    return t;
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t compact_threshold = 64;
+  std::vector<unique_task> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace fzmod::device

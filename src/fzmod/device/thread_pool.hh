@@ -6,18 +6,25 @@
 // shared FIFO, condition-variable wakeup — because the interesting
 // scheduling lives a layer up (streams order work; the STF layer builds
 // DAGs).
+//
+// The job queue and completion signalling are allocation-free in steady
+// state: jobs are `unique_task`s (small-buffer optimized, move-only) held
+// in a capacity-retaining ring, and `parallel_for` recycles its completion
+// blocks through a free list instead of make_shared-ing one per call.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
-#include <deque>
-#include <functional>
+#include <exception>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "fzmod/common/types.hh"
+#include "fzmod/device/task.hh"
 
 namespace fzmod::device {
 
@@ -47,6 +54,12 @@ class thread_pool {
     }
     cv_.notify_all();
     for (auto& t : workers_) t.join();
+    pf_state* st = pf_free_;
+    while (st) {
+      pf_state* next = st->free_next;
+      delete st;
+      st = next;
+    }
   }
 
   [[nodiscard]] unsigned size() const {
@@ -54,26 +67,33 @@ class thread_pool {
   }
 
   /// Enqueue a job. The returned future completes when the job finishes;
-  /// exceptions propagate through it.
+  /// exceptions propagate through it. (The promise's shared state is the
+  /// one allocation — submit() is the cold, observable path; the hot paths
+  /// use submit_detached.)
   template <class F>
   std::future<void> submit(F&& fn) {
-    auto task = std::make_shared<std::packaged_task<void()>>(
-        std::forward<F>(fn));
-    std::future<void> fut = task->get_future();
-    {
-      std::lock_guard lk(mu_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    std::promise<void> pr;
+    std::future<void> fut = pr.get_future();
+    submit_detached(
+        [pr = std::move(pr), fn = std::forward<F>(fn)]() mutable {
+          try {
+            fn();
+            pr.set_value();
+          } catch (...) {
+            pr.set_exception(std::current_exception());
+          }
+        });
     return fut;
   }
 
   /// Fire-and-forget variant for internal continuations that manage their
-  /// own completion signalling (stream ops, STF tasks).
-  void submit_detached(std::function<void()> fn) {
+  /// own completion signalling (stream ops, STF tasks). Move-only
+  /// closures are fine; small ones stay inline in the ring.
+  template <class F>
+  void submit_detached(F&& fn) {
     {
       std::lock_guard lk(mu_);
-      queue_.push_back(std::move(fn));
+      queue_.push(unique_task(std::forward<F>(fn)));
     }
     cv_.notify_one();
   }
@@ -90,17 +110,13 @@ class thread_pool {
       body(std::size_t{0}, n);
       return;
     }
-    // Shared state lives on the heap: detached helpers can wake after this
-    // frame has returned (all chunks already claimed) and must still find
-    // valid counters.
-    struct shared_state {
-      std::atomic<std::size_t> next{0};
-      std::atomic<std::size_t> done{0};
-      std::mutex mu;
-      std::condition_variable cv;
-      std::exception_ptr error;  // first chunk failure, guarded by mu
-    };
-    auto st = std::make_shared<shared_state>();
+    const unsigned helpers =
+        static_cast<unsigned>(std::min<std::size_t>(size(), nchunks - 1));
+    // The completion block outlives this frame (detached helpers can wake
+    // after all chunks are claimed and must still find valid counters), so
+    // it cannot live on the stack — but it need not be a fresh heap
+    // object either: blocks are refcounted and recycled through pf_free_.
+    pf_state* st = pf_acquire(static_cast<int>(helpers) + 1);
     auto run_chunks = [st, nchunks, grain, n, &body] {
       for (;;) {
         const std::size_t c =
@@ -126,28 +142,74 @@ class thread_pool {
     // Helpers must not touch `body` after completion is signalled: the
     // caller's frame (and body) may be gone. They claim chunks first and
     // only run body for claimed chunks, which is safe because completion
-    // is only reached when every chunk has finished.
-    const unsigned helpers =
-        static_cast<unsigned>(std::min<std::size_t>(size(), nchunks - 1));
-    for (unsigned i = 0; i < helpers; ++i) submit_detached(run_chunks);
+    // is only reached when every chunk has finished. Each helper holds a
+    // reference on the block, so recycling waits for the last straggler.
+    for (unsigned i = 0; i < helpers; ++i) {
+      submit_detached([this, st, run_chunks] {
+        run_chunks();
+        pf_release(st);
+      });
+    }
     run_chunks();
-    std::unique_lock lk(st->mu);
-    st->cv.wait(lk, [&] {
-      return st->done.load(std::memory_order_acquire) == nchunks;
-    });
-    if (st->error) std::rethrow_exception(st->error);
+    {
+      std::unique_lock lk(st->mu);
+      st->cv.wait(lk, [&] {
+        return st->done.load(std::memory_order_acquire) == nchunks;
+      });
+    }
+    std::exception_ptr err = st->error;
+    pf_release(st);
+    if (err) std::rethrow_exception(err);
   }
 
  private:
+  /// Completion block for one parallel_for. Pooled: acquire resets the
+  /// counters, release returns the block to the free list once the caller
+  /// and every helper have dropped their reference.
+  struct pf_state {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first chunk failure, guarded by mu
+    std::atomic<int> refs{0};
+    pf_state* free_next = nullptr;
+  };
+
+  [[nodiscard]] pf_state* pf_acquire(int refs) {
+    pf_state* st = nullptr;
+    {
+      std::lock_guard lk(pf_mu_);
+      if (pf_free_) {
+        st = pf_free_;
+        pf_free_ = st->free_next;
+      }
+    }
+    if (!st) st = new pf_state;
+    st->next.store(0, std::memory_order_relaxed);
+    st->done.store(0, std::memory_order_relaxed);
+    st->error = nullptr;
+    st->refs.store(refs, std::memory_order_relaxed);
+    st->free_next = nullptr;
+    return st;
+  }
+
+  void pf_release(pf_state* st) {
+    if (st->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(pf_mu_);
+      st->free_next = pf_free_;
+      pf_free_ = st;
+    }
+  }
+
   void worker_loop() {
     for (;;) {
-      std::function<void()> job;
+      unique_task job;
       {
         std::unique_lock lk(mu_);
         cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
         if (stopping_ && queue_.empty()) return;
-        job = std::move(queue_.front());
-        queue_.pop_front();
+        job = queue_.pop();
       }
       // Detached jobs are expected to contain their own errors (streams,
       // STF tasks, parallel_for chunks all do); anything that escapes
@@ -165,9 +227,12 @@ class thread_pool {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  task_ring queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+
+  std::mutex pf_mu_;
+  pf_state* pf_free_ = nullptr;
 };
 
 }  // namespace fzmod::device

@@ -133,7 +133,7 @@ void interp_compress_async(const device::buffer<T>& data, dims3 dims,
   out.dims = dims;
   out.radius = radius;
   out.ebx2 = ebx2;
-  out.codes = device::buffer<u16>(n, device::space::device);
+  out.codes.ensure(n, device::space::device);
   out.value_outliers.clear();
   anchors.stride = interp_anchor_stride;
   anchors.lattice.clear();
@@ -189,8 +189,7 @@ void interp_compress_async(const device::buffer<T>& data, dims3 dims,
     });
 
     out.n_outliers = outliers.size();
-    out.outliers = device::buffer<kernels::outlier>(outliers.size(),
-                                                    device::space::device);
+    out.outliers.ensure(outliers.size(), device::space::device);
     std::copy(outliers.begin(), outliers.end(), out.outliers.data());
     device::runtime::instance().stats().h2d_bytes +=
         outliers.size() * sizeof(kernels::outlier);

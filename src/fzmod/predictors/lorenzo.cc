@@ -56,18 +56,20 @@ void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
   out.dims = dims;
   out.radius = radius;
   out.ebx2 = ebx2;
-  out.codes = device::buffer<u16>(n, device::space::device);
+  out.codes.ensure(n, device::space::device);
+  out.lattice_scratch.ensure(n, device::space::device);
   out.value_outliers.clear();
 
   // Pass 1 (kernel): pre-quantize to the integer lattice. Values whose
   // lattice coordinate would overflow the safe range are recorded as raw
   // value outliers and contribute q = 0 to their neighbours' predictions —
   // which stays correct because reconstruction overwrites those points.
-  auto qbuf = std::make_shared<device::buffer<i32>>(n, device::space::device);
+  // The lattice lives in `out` (reused across calls); `out` must outlive
+  // the stream, which the existing `&out` capture below already requires.
   auto vo_mu = std::make_shared<std::mutex>();
   {
     const T* in = data.data();
-    i32* q = qbuf->data();
+    i32* q = out.lattice_scratch.data();
     auto* vo = &out.value_outliers;
     const f64 r_ebx2 = 1.0 / ebx2;
     device::launch_blocks(
@@ -100,7 +102,7 @@ void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
   };
   auto coll = std::make_shared<collect_state>();
   {
-    const i32* q = qbuf->data();
+    const i32* q = out.lattice_scratch.data();
     u16* codes = out.codes.data();
     const int rank = dims.rank();
     device::launch_blocks(
@@ -138,14 +140,11 @@ void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
   }
 
   // Finalize (stream-ordered host op): move collected outliers into the
-  // device-resident compact list. qbuf dies here; keeping it alive through
-  // the shared_ptr captured above is what makes the whole sequence safe to
-  // fire-and-forget.
-  device::host_task(s, [coll, &out, qbuf] {
+  // device-resident compact list, reusing the field's outlier buffer when
+  // its capacity suffices.
+  device::host_task(s, [coll, &out] {
     out.n_outliers = coll->all.size();
-    out.outliers =
-        device::buffer<kernels::outlier>(coll->all.size(),
-                                         device::space::device);
+    out.outliers.ensure(coll->all.size(), device::space::device);
     std::copy(coll->all.begin(), coll->all.end(), out.outliers.data());
     device::runtime::instance().stats().h2d_bytes +=
         coll->all.size() * sizeof(kernels::outlier);

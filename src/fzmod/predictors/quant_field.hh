@@ -40,6 +40,12 @@ struct quant_field {
   dims3 dims;
   int radius = default_radius;
   f64 ebx2 = 0;  // 2 * absolute error bound used at quantization
+
+  // Predictor-internal scratch (the pre-quantized integer lattice). Lives
+  // here so a pipeline that reuses its quant_field across calls reaches
+  // zero steady-state allocations; callers never read it. Like `codes`,
+  // it is only valid once the stream that filled it has been synced.
+  device::buffer<i32> lattice_scratch;
 };
 
 }  // namespace fzmod::predictors

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "fzmod/device/runtime.hh"
 
@@ -188,6 +191,158 @@ TEST(ThreadPool, SubmitReturnsFutureWithExceptions) {
   EXPECT_NO_THROW(ok.get());
   auto bad = pool.submit([] { throw std::runtime_error("nope"); });
   EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(Pool, BinRounding) {
+  EXPECT_EQ(memory_pool::bin_bytes(1), 64u);
+  EXPECT_EQ(memory_pool::bin_bytes(64), 64u);
+  EXPECT_EQ(memory_pool::bin_bytes(65), 128u);
+  EXPECT_EQ(memory_pool::bin_bytes(1000), 1024u);
+  EXPECT_EQ(memory_pool::bin_bytes(1024), 1024u);
+}
+
+TEST(Pool, BinReuseReturnsSamePointer) {
+  pool_stats st;
+  memory_pool pool(st, /*enabled=*/true);
+  void* p1 = pool.allocate(100);  // bin 128
+  pool.deallocate(p1, 100);
+  void* p2 = pool.allocate(80);  // same bin -> cached block comes back
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(st.hits.load(), 1u);
+  EXPECT_EQ(st.misses.load(), 1u);
+  void* p3 = pool.allocate(200);  // different bin -> fresh block
+  EXPECT_NE(p3, p2);
+  pool.deallocate(p2, 80);
+  pool.deallocate(p3, 200);
+}
+
+TEST(Pool, AlignmentPreservedOnFreshAndReusedBlocks) {
+  pool_stats st;
+  memory_pool pool(st, /*enabled=*/true);
+  for (const std::size_t sz : {1u, 63u, 100u, 1000u, 4097u}) {
+    void* fresh = pool.allocate(sz);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(fresh) % 64, 0u) << sz;
+    pool.deallocate(fresh, sz);
+    void* reused = pool.allocate(sz);
+    EXPECT_EQ(reused, fresh);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(reused) % 64, 0u) << sz;
+    pool.deallocate(reused, sz);
+  }
+}
+
+TEST(Pool, TrimReturnsCachedBytesAndZeroesCounter) {
+  pool_stats st;
+  memory_pool pool(st, /*enabled=*/true);
+  pool.deallocate(pool.allocate(100), 100);    // caches 128
+  pool.deallocate(pool.allocate(1000), 1000);  // caches 1024
+  EXPECT_EQ(st.bytes_cached.load(), 128u + 1024u);
+  const u64 released = pool.trim();
+  EXPECT_EQ(released, 128u + 1024u);
+  EXPECT_EQ(st.bytes_cached.load(), 0u);
+  EXPECT_EQ(st.bytes_trimmed.load(), 128u + 1024u);
+  EXPECT_GE(st.trims.load(), 1u);
+  // A second trim with nothing cached releases nothing.
+  EXPECT_EQ(pool.trim(), 0u);
+}
+
+TEST(Pool, ConcurrentAllocFreeIsRaceFree) {
+  pool_stats st;
+  memory_pool pool(st, /*enabled=*/true);
+  constexpr int n_threads = 8, iters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < iters; ++i) {
+        const std::size_t sz = 64u << ((i + t) % 4);  // 64..512
+        void* p = pool.allocate(sz);
+        *static_cast<volatile char*>(p) = static_cast<char>(i);
+        pool.deallocate(p, sz);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(st.hits.load() + st.misses.load(),
+            static_cast<u64>(n_threads) * iters);
+  // Everything was freed, so the cache holds exactly what trim releases.
+  const u64 cached = st.bytes_cached.load();
+  EXPECT_EQ(pool.trim(), cached);
+  EXPECT_EQ(st.bytes_cached.load(), 0u);
+}
+
+TEST(Pool, DeviceAccountingStaysExactWithPoolEnabled) {
+  // The pool rounds 1000 bytes up to a 1024-byte bin internally, but the
+  // runtime ledger must charge the requested size only.
+  auto& st = runtime::instance().stats();
+  const u64 before = st.device_bytes_in_use.load();
+  {
+    buffer<u8> d(1000, space::device);
+    EXPECT_EQ(st.device_bytes_in_use.load(), before + 1000);
+  }
+  EXPECT_EQ(st.device_bytes_in_use.load(), before);
+}
+
+TEST(Pool, RuntimeReusesBufferBlocks) {
+  auto& rt = runtime::instance();
+  if (!rt.pool_enabled()) GTEST_SKIP() << "FZMOD_POOL=0";
+  auto& ps = rt.stats().device_pool;
+  void* first = nullptr;
+  {
+    buffer<u8> d(4096, space::device);
+    first = d.data();
+  }
+  const u64 hits_before = ps.hits.load();
+  buffer<u8> d2(4096, space::device);
+  EXPECT_EQ(d2.data(), first);
+  EXPECT_EQ(ps.hits.load(), hits_before + 1);
+}
+
+TEST(RuntimeStats, ResetPeakRebasesToCurrentUse) {
+  auto& st = runtime::instance().stats();
+  {
+    buffer<u8> big(1 << 20, space::device);
+    EXPECT_GE(st.device_bytes_peak.load(), st.device_bytes_in_use.load());
+  }
+  // Peak still remembers the dead buffer...
+  EXPECT_GE(st.device_bytes_peak.load(),
+            st.device_bytes_in_use.load() + (1u << 20));
+  st.reset_peak();
+  // ...until rebased to what is actually live now.
+  EXPECT_EQ(st.device_bytes_peak.load(), st.device_bytes_in_use.load());
+  buffer<u8> d(1 << 10, space::device);
+  EXPECT_GE(st.device_bytes_peak.load(), st.device_bytes_in_use.load());
+}
+
+TEST(Buffer, FillZeroAsyncZeroesDeviceDataAndCountsKernel) {
+  auto& st = runtime::instance().stats();
+  buffer<u32> d(100000, space::device);
+  for (std::size_t i = 0; i < d.size(); ++i) d.data()[i] = 0xdeadbeefu;
+  const u64 before = st.kernels_launched.load();
+  stream s;
+  d.fill_zero_async(s);
+  s.sync();
+  EXPECT_EQ(st.kernels_launched.load(), before + 1);
+  for (std::size_t i = 0; i < d.size(); i += 499) {
+    ASSERT_EQ(d.data()[i], 0u) << i;
+  }
+}
+
+TEST(Buffer, EnsureReusesCapacityInPlace) {
+  buffer<f32> b(100, space::device);
+  f32* p = b.data();
+  const std::size_t cap = b.capacity_bytes();
+  b.ensure(50);  // shrink: same block, smaller view
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(b.capacity_bytes(), cap);
+  b.ensure(100);  // regrow within capacity: still the same block
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 100u);
+  b.ensure(500);  // beyond capacity: reallocates
+  EXPECT_EQ(b.size(), 500u);
+  EXPECT_GE(b.capacity_bytes(), 500 * sizeof(f32));
+  // Space change always reallocates.
+  b.ensure(500, space::host);
+  EXPECT_EQ(b.where(), space::host);
 }
 
 TEST(Streams, ConcurrentStreamsMakeIndependentProgress) {

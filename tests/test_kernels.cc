@@ -246,9 +246,9 @@ TEST(Compact, ScatterRestoresDeltas) {
   device::buffer<outlier> d(list.size(), device::space::device);
   std::memcpy(d.data(), list.data(), list.size() * sizeof(outlier));
   device::buffer<i32> deltas(n, device::space::device);
-  deltas.fill_zero();
   u64 count = list.size();
   device::stream s;
+  deltas.fill_zero_async(s);
   scatter_async(d, &count, deltas, s);
   s.sync();
   EXPECT_EQ(deltas.data()[7], -123);
