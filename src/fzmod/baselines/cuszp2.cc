@@ -12,7 +12,9 @@
 #include "fzmod/baselines/compressor.hh"
 #include "fzmod/common/bits.hh"
 #include "fzmod/common/error.hh"
+#include "fzmod/core/archive_format.hh"
 #include "fzmod/device/runtime.hh"
+#include "fzmod/kernels/chunked_hash.hh"
 #include "fzmod/kernels/stats.hh"
 
 namespace fzmod::baselines {
@@ -33,6 +35,7 @@ struct header {
   u64 nblocks;
   u64 base_bytes;
   u64 payload_bytes;
+  u64 payload_digest;  // chunked hash of everything after the header
 };
 #pragma pack(pop)
 
@@ -167,12 +170,11 @@ class cuszp2 final : public compressor {
                n,
                nblocks,
                bases.size(),
-               (payload_bits + 7) / 8 + raw_blocks * blk * sizeof(f32)};
+               (payload_bits + 7) / 8 + raw_blocks * blk * sizeof(f32),
+               0};
     std::vector<u8> out(sizeof(hdr) + nblocks + bases.size() +
                         hdr.payload_bytes + 8);
-    u8* p = out.data();
-    std::memcpy(p, &hdr, sizeof(hdr));
-    p += sizeof(hdr);
+    u8* p = out.data() + sizeof(hdr);  // header lands last (after digest)
     for (std::size_t b = 0; b < nblocks; ++b) p[b] = blocks[b].width;
     p += nblocks;
     std::memcpy(p, bases.data(), bases.size());
@@ -193,6 +195,9 @@ class cuszp2 final : public compressor {
       for (std::size_t i = hi; i < lo + blk; ++i) bw.put(0, w);
     }
     out.resize(sizeof(hdr) + nblocks + bases.size() + hdr.payload_bytes);
+    hdr.payload_digest = kernels::chunked_hash(
+        {out.data() + sizeof(hdr), out.size() - sizeof(hdr)});
+    std::memcpy(out.data(), &hdr, sizeof(hdr));
     return out;
   }
 
@@ -218,6 +223,12 @@ class cuszp2 final : public compressor {
     FZMOD_REQUIRE(archive.size() >= sizeof(hdr) + hdr.nblocks +
                                         hdr.base_bytes + hdr.payload_bytes,
                   status::corrupt_archive, "cuszp2: truncated archive");
+    if (core::fmt::verify_enabled()) {
+      FZMOD_REQUIRE(kernels::chunked_hash(archive.subspan(sizeof(hdr))) ==
+                        hdr.payload_digest,
+                    status::corrupt_archive,
+                    "cuszp2: payload digest mismatch");
+    }
     const u8* widths = archive.data() + sizeof(hdr);
     const u8* bp = widths + hdr.nblocks;
     const u8* bp_end = bp + hdr.base_bytes;

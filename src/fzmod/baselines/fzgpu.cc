@@ -40,6 +40,7 @@ struct header {
   u64 n_value_outliers;
   u64 bitmap_words;
   u64 packed_words;
+  u64 payload_digest;  // chunked hash of everything after the header
 };
 #pragma pack(pop)
 
@@ -177,20 +178,24 @@ class fzgpu final : public compressor {
                packed.size(),
                value_outliers.size(),
                enc.bitmap_words,
-               enc.packed_words};
+               enc.packed_words,
+               0};
     std::vector<u8> out(sizeof(hdr) + enc.bytes() + packed.size() +
                         value_outliers.size() * sizeof(vo_record));
-    u8* p = out.data();
-    std::memcpy(p, &hdr, sizeof(hdr));
-    p += sizeof(hdr);
+    u8* p = out.data() + sizeof(hdr);  // header lands last (after digest)
     device::memcpy_async(p, enc.payload.data(), enc.bytes(),
                          device::copy_kind::d2h, s);
     s.sync();
     p += enc.bytes();
-    std::memcpy(p, packed.data(), packed.size());
+    if (!packed.empty()) std::memcpy(p, packed.data(), packed.size());
     p += packed.size();
-    std::memcpy(p, value_outliers.data(),
-                value_outliers.size() * sizeof(vo_record));
+    if (!value_outliers.empty()) {
+      std::memcpy(p, value_outliers.data(),
+                  value_outliers.size() * sizeof(vo_record));
+    }
+    hdr.payload_digest = kernels::chunked_hash(
+        {out.data() + sizeof(hdr), out.size() - sizeof(hdr)});
+    std::memcpy(out.data(), &hdr, sizeof(hdr));
     return out;
   }
 
@@ -226,6 +231,12 @@ class fzgpu final : public compressor {
         archive.size() >= sizeof(hdr) + payload_bytes + hdr.outlier_bytes +
                               hdr.n_value_outliers * sizeof(vo_record),
         status::corrupt_archive, "fzgpu: truncated archive");
+    if (core::fmt::verify_enabled()) {
+      FZMOD_REQUIRE(kernels::chunked_hash(archive.subspan(sizeof(hdr))) ==
+                        hdr.payload_digest,
+                    status::corrupt_archive,
+                    "fzgpu: payload digest mismatch");
+    }
 
     device::stream s;
     encoders::fzg_result enc;
@@ -257,7 +268,7 @@ class fzgpu final : public compressor {
         core::fmt::unpack_outliers(
             {archive.data() + sizeof(hdr) + payload_bytes,
              hdr.outlier_bytes},
-            hdr.n_outliers));
+            hdr.n_outliers, n));
     {
       i32* d = deltas->data();
       device::host_task(s, [ol, d, n] {
@@ -291,10 +302,12 @@ class fzgpu final : public compressor {
                          device::copy_kind::d2h, s);
     s.sync();
     std::vector<vo_record> vo(hdr.n_value_outliers);
-    std::memcpy(vo.data(),
-                archive.data() + sizeof(hdr) + payload_bytes +
-                    hdr.outlier_bytes,
-                hdr.n_value_outliers * sizeof(vo_record));
+    if (hdr.n_value_outliers != 0) {
+      std::memcpy(vo.data(),
+                  archive.data() + sizeof(hdr) + payload_bytes +
+                      hdr.outlier_bytes,
+                  hdr.n_value_outliers * sizeof(vo_record));
+    }
     for (const auto& r : vo) {
       FZMOD_REQUIRE(r.index < n, status::corrupt_archive,
                     "fzgpu: value outlier index out of range");

@@ -18,7 +18,9 @@
 #include "fzmod/baselines/compressor.hh"
 #include "fzmod/common/bits.hh"
 #include "fzmod/common/error.hh"
+#include "fzmod/core/archive_format.hh"
 #include "fzmod/device/runtime.hh"
+#include "fzmod/kernels/chunked_hash.hh"
 #include "fzmod/kernels/stats.hh"
 
 namespace fzmod::baselines {
@@ -42,6 +44,7 @@ struct header {
   u64 super_words;
   u64 l1_words;
   u64 payload_words;
+  u64 payload_digest;  // chunked hash of everything after the header
 };
 #pragma pack(pop)
 
@@ -213,7 +216,8 @@ class pfpl final : public compressor {
                bases.size(),
                super_total,
                l1_nonzero,
-               payload_nonzero};
+               payload_nonzero,
+               0};
     // Stage word sections in an aligned vector, then memcpy into the
     // archive (word offsets inside the blob are not 4-aligned in general).
     std::vector<u32> words;
@@ -229,14 +233,15 @@ class pfpl final : public compressor {
     std::vector<u8> out(sizeof(hdr) + bases.size() +
                         words.size() * sizeof(u32) +
                         raws.size() * sizeof(raw_record));
-    u8* p = out.data();
-    std::memcpy(p, &hdr, sizeof(hdr));
-    p += sizeof(hdr);
-    std::memcpy(p, bases.data(), bases.size());
+    u8* p = out.data() + sizeof(hdr);  // header lands last (after digest)
+    if (!bases.empty()) std::memcpy(p, bases.data(), bases.size());
     p += bases.size();
-    std::memcpy(p, words.data(), words.size() * sizeof(u32));
+    if (!words.empty()) std::memcpy(p, words.data(), words.size() * sizeof(u32));
     p += words.size() * sizeof(u32);
-    std::memcpy(p, raws.data(), raws.size() * sizeof(raw_record));
+    if (!raws.empty()) std::memcpy(p, raws.data(), raws.size() * sizeof(raw_record));
+    hdr.payload_digest = kernels::chunked_hash(
+        {out.data() + sizeof(hdr), out.size() - sizeof(hdr)});
+    std::memcpy(out.data(), &hdr, sizeof(hdr));
     return out;
   }
 
@@ -275,6 +280,12 @@ class pfpl final : public compressor {
                     sizeof(u32) +
                 hdr.n_raw * sizeof(raw_record),
         status::corrupt_archive, "pfpl: truncated archive");
+    if (core::fmt::verify_enabled()) {
+      FZMOD_REQUIRE(kernels::chunked_hash(archive.subspan(sizeof(hdr))) ==
+                        hdr.payload_digest,
+                    status::corrupt_archive,
+                    "pfpl: payload digest mismatch");
+    }
 
     const u8* p = archive.data() + sizeof(hdr);
     const u8* bases_p = p;
@@ -284,13 +295,15 @@ class pfpl final : public compressor {
     const std::size_t nwords =
         hdr.super_words + hdr.l1_words + hdr.payload_words;
     std::vector<u32> words(nwords);
-    std::memcpy(words.data(), p, nwords * sizeof(u32));
+    if (nwords != 0) std::memcpy(words.data(), p, nwords * sizeof(u32));
     p += nwords * sizeof(u32);
     const u32* super = words.data();
     const u32* l1_packed = super + hdr.super_words;
     const u32* payload_packed = l1_packed + hdr.l1_words;
     std::vector<raw_record> raw_recs(hdr.n_raw);
-    std::memcpy(raw_recs.data(), p, hdr.n_raw * sizeof(raw_record));
+    if (hdr.n_raw != 0) {
+      std::memcpy(raw_recs.data(), p, hdr.n_raw * sizeof(raw_record));
+    }
     const raw_record* raws = raw_recs.data();
 
     // Expand level 1 from the super bitmap.

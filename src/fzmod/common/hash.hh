@@ -1,0 +1,114 @@
+// FZModules — xxhash64-style non-cryptographic hashing.
+//
+// Archive integrity (format v2) stores one 64-bit digest per archive
+// section plus a whole-body digest for secondary-wrapped archives; see
+// docs/FORMAT.md. The hash is the XXH64 construction: a 4-lane
+// multiply-rotate accumulator over 32-byte stripes with an avalanche
+// finalizer. It is fast (memory-bandwidth-bound on long inputs), has
+// excellent bit dispersion, and is *not* cryptographic — it detects
+// corruption, not adversaries with write access and hash awareness.
+//
+// Large payloads are hashed data-parallel by the chunked kernel in
+// kernels/chunked_hash.hh; this header is the scalar core it builds on.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "fzmod/common/types.hh"
+
+namespace fzmod::common {
+
+namespace detail {
+
+inline constexpr u64 xxh_prime1 = 0x9E3779B185EBCA87ull;
+inline constexpr u64 xxh_prime2 = 0xC2B2AE3D27D4EB4Full;
+inline constexpr u64 xxh_prime3 = 0x165667B19E3779F9ull;
+inline constexpr u64 xxh_prime4 = 0x85EBCA77C2B2AE63ull;
+inline constexpr u64 xxh_prime5 = 0x27D4EB2F165667C5ull;
+
+[[nodiscard]] inline u64 xxh_read64(const u8* p) {
+  u64 v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[nodiscard]] inline u32 xxh_read32(const u8* p) {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+[[nodiscard]] inline u64 xxh_round(u64 acc, u64 input) {
+  acc += input * xxh_prime2;
+  acc = std::rotl(acc, 31);
+  return acc * xxh_prime1;
+}
+
+[[nodiscard]] inline u64 xxh_merge_round(u64 acc, u64 lane) {
+  acc ^= xxh_round(0, lane);
+  return acc * xxh_prime1 + xxh_prime4;
+}
+
+[[nodiscard]] inline u64 xxh_avalanche(u64 h) {
+  h ^= h >> 33;
+  h *= xxh_prime2;
+  h ^= h >> 29;
+  h *= xxh_prime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace detail
+
+/// One-shot XXH64 of `len` bytes with the given seed.
+[[nodiscard]] inline u64 xxhash64(const void* data, std::size_t len,
+                                  u64 seed = 0) {
+  using namespace detail;
+  const u8* p = static_cast<const u8*>(data);
+  const u8* const end = p + len;
+  u64 h;
+
+  if (len >= 32) {
+    u64 v1 = seed + xxh_prime1 + xxh_prime2;
+    u64 v2 = seed + xxh_prime2;
+    u64 v3 = seed;
+    u64 v4 = seed - xxh_prime1;
+    const u8* const limit = end - 32;
+    do {
+      v1 = xxh_round(v1, xxh_read64(p));
+      v2 = xxh_round(v2, xxh_read64(p + 8));
+      v3 = xxh_round(v3, xxh_read64(p + 16));
+      v4 = xxh_round(v4, xxh_read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = std::rotl(v1, 1) + std::rotl(v2, 7) + std::rotl(v3, 12) +
+        std::rotl(v4, 18);
+    h = xxh_merge_round(h, v1);
+    h = xxh_merge_round(h, v2);
+    h = xxh_merge_round(h, v3);
+    h = xxh_merge_round(h, v4);
+  } else {
+    h = seed + xxh_prime5;
+  }
+
+  h += static_cast<u64>(len);
+  while (p + 8 <= end) {
+    h ^= xxh_round(0, xxh_read64(p));
+    h = std::rotl(h, 27) * xxh_prime1 + xxh_prime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<u64>(xxh_read32(p)) * xxh_prime1;
+    h = std::rotl(h, 23) * xxh_prime2 + xxh_prime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<u64>(*p) * xxh_prime5;
+    h = std::rotl(h, 11) * xxh_prime1;
+    ++p;
+  }
+  return xxh_avalanche(h);
+}
+
+}  // namespace fzmod::common

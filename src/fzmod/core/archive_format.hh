@@ -1,36 +1,64 @@
 // FZModules — on-disk archive layout (internal, shared by the synchronous
 // pipeline driver and the experimental STF pipeline so both produce and
-// consume the same format).
+// consume the same format). docs/FORMAT.md is the normative description.
 //
 // Layout:
 //   outer_header | body
 // where body is either the inner archive or (outer.secondary == 1) an LZ
 // blob of it, and the inner archive is
 //   inner_header | codec blob | outliers | value outliers | anchors.
+//
+// Version history:
+//   v1 ("FZM0" outer, inner version 1): no integrity digests; structural
+//      fields are validated, but payload corruption can decode to wrong
+//      values. Still fully readable.
+//   v2 ("FZM2" outer, inner version 2): the inner header carries one
+//      xxhash64 digest per section plus a self-digest, and the outer
+//      header carries a sealed whole-body digest for secondary-wrapped
+//      archives (verified *before* the LZ decoder touches the blob). With
+//      verification on — the default; see `verify_enabled` — any payload
+//      corruption surfaces as a deterministic status::corrupt_archive.
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <span>
 #include <vector>
 
 #include "fzmod/common/bits.hh"
 #include "fzmod/common/error.hh"
+#include "fzmod/common/hash.hh"
 #include "fzmod/common/types.hh"
+#include "fzmod/kernels/chunked_hash.hh"
 #include "fzmod/kernels/compact.hh"
 
 namespace fzmod::core::fmt {
 
-inline constexpr u32 outer_magic = 0x465a4d30;  // "FZM0"
-inline constexpr u32 inner_magic = 0x465a4d44;  // "FZMD"
-inline constexpr u16 archive_version = 1;
+inline constexpr u32 outer_magic = 0x465a4d30;     // "FZM0" (format v1)
+inline constexpr u32 outer_magic_v2 = 0x465a4d32;  // "FZM2"
+inline constexpr u32 inner_magic = 0x465a4d44;     // "FZMD"
+inline constexpr u16 archive_version = 2;          // what we write
 
 #pragma pack(push, 1)
+/// v1 outer header (8 bytes). Still accepted on read.
 struct outer_header {
   u32 magic;
   u8 secondary;  // 1 = body is an LZ blob of the inner archive
   u8 pad[3];
 };
 
+/// v2 outer header (16 bytes). `body_digest` is the sealed digest of the
+/// *stored* body bytes when secondary == 1 (see `seal_digest`), and must
+/// be zero otherwise (plain bodies are covered by the inner digests).
+struct outer_header_v2 {
+  u32 magic;
+  u8 secondary;
+  u8 pad[3];  // must be zero
+  u64 body_digest;
+};
+
+/// Inner header. The v1 header is the byte-exact prefix of the v2 header:
+/// v2 appends the five digest words and bumps `version`.
 struct inner_header {
   u32 magic;
   u16 version;
@@ -51,8 +79,23 @@ struct inner_header {
   u64 anchor_stride;
   u64 codec_bytes;
   u64 outlier_bytes;  // packed (varint) size of the outlier section
+  // --- v2 fields below; absent from v1 archives ---
+  u64 digest_codec;
+  u64 digest_outliers;
+  u64 digest_value_outliers;
+  u64 digest_anchors;
+  u64 digest_header;  // digest of this header with this field zeroed
 };
 #pragma pack(pop)
+
+inline constexpr std::size_t inner_header_v1_bytes =
+    sizeof(inner_header) - 5 * sizeof(u64);
+static_assert(inner_header_v1_bytes == 152,
+              "v1 inner header layout must stay byte-stable");
+
+[[nodiscard]] inline std::size_t inner_header_bytes(u16 version) {
+  return version >= 2 ? sizeof(inner_header) : inner_header_v1_bytes;
+}
 
 /// Value outliers serialize as (u64 index, f64 value) pairs.
 #pragma pack(push, 1)
@@ -61,6 +104,222 @@ struct vo_record {
   f64 value;
 };
 #pragma pack(pop)
+
+// --- verification policy -------------------------------------------------
+
+/// Decode-side digest verification is on by default; FZMOD_VERIFY=0 opts
+/// out at startup, and `set_verify_enabled` is the runtime A/B switch
+/// (benches measure the overhead with it, tests exercise both paths).
+/// Structural validation is never switchable — only digest comparisons.
+[[nodiscard]] inline bool& verify_flag() {
+  static bool on = [] {
+    const char* v = std::getenv("FZMOD_VERIFY");
+    return !(v && v[0] == '0' && v[1] == '\0');
+  }();
+  return on;
+}
+
+inline void set_verify_enabled(bool on) { verify_flag() = on; }
+[[nodiscard]] inline bool verify_enabled() { return verify_flag(); }
+
+// --- digests --------------------------------------------------------------
+
+/// Seal a whole-body digest together with the secondary flag, so a bit
+/// flip that toggles `secondary` cannot leave a matching digest behind.
+[[nodiscard]] inline u64 seal_digest(u64 body_digest, u8 secondary) {
+  u8 buf[9];
+  std::memcpy(buf, &body_digest, sizeof(body_digest));
+  buf[8] = secondary;
+  return common::xxhash64(buf, sizeof(buf), 0);
+}
+
+/// Digest of a v2 inner header (by value: the self-digest slot is zeroed
+/// before hashing).
+[[nodiscard]] inline u64 header_digest(inner_header hdr) {
+  hdr.digest_header = 0;
+  return common::xxhash64(&hdr, sizeof(hdr), 0);
+}
+
+// --- outer layer ----------------------------------------------------------
+
+/// Parsed outer header plus the body bytes exactly as stored (the LZ blob
+/// when secondary). Structural checks (magic, flag range, padding) happen
+/// here unconditionally; digest checks are `verify_outer`'s job.
+struct outer_view {
+  bool v2 = false;
+  bool secondary = false;
+  u64 body_digest = 0;
+  std::span<const u8> stored_body;
+};
+
+[[nodiscard]] inline outer_view parse_outer(std::span<const u8> archive) {
+  FZMOD_REQUIRE(archive.size() >= sizeof(outer_header),
+                status::corrupt_archive, "archive too small");
+  u32 magic;
+  std::memcpy(&magic, archive.data(), sizeof(magic));
+  outer_view ov;
+  if (magic == outer_magic) {
+    outer_header h;
+    std::memcpy(&h, archive.data(), sizeof(h));
+    ov.secondary = h.secondary != 0;
+    ov.stored_body = archive.subspan(sizeof(h));
+    return ov;
+  }
+  FZMOD_REQUIRE(magic == outer_magic_v2, status::corrupt_archive,
+                "bad archive magic");
+  FZMOD_REQUIRE(archive.size() >= sizeof(outer_header_v2),
+                status::corrupt_archive, "archive too small");
+  outer_header_v2 h;
+  std::memcpy(&h, archive.data(), sizeof(h));
+  FZMOD_REQUIRE(h.secondary <= 1, status::corrupt_archive,
+                "archive: bad secondary flag");
+  FZMOD_REQUIRE(h.pad[0] == 0 && h.pad[1] == 0 && h.pad[2] == 0,
+                status::corrupt_archive, "archive: nonzero outer padding");
+  ov.v2 = true;
+  ov.secondary = h.secondary == 1;
+  ov.body_digest = h.body_digest;
+  ov.stored_body = archive.subspan(sizeof(h));
+  return ov;
+}
+
+/// Whole-body digest check (v2 + verification on). For secondary archives
+/// this hashes the stored LZ blob — i.e. corruption is caught before the
+/// LZ decoder ever parses hostile bytes. Plain v2 bodies must carry a
+/// zero slot; their coverage comes from the inner digests.
+inline void verify_outer(const outer_view& ov) {
+  if (!ov.v2 || !verify_enabled()) return;
+  if (ov.secondary) {
+    FZMOD_REQUIRE(
+        seal_digest(kernels::chunked_hash(ov.stored_body), 1) ==
+            ov.body_digest,
+        status::corrupt_archive, "archive: body digest mismatch");
+  } else {
+    FZMOD_REQUIRE(ov.body_digest == 0, status::corrupt_archive,
+                  "archive: unexpected body digest");
+  }
+}
+
+// --- inner layer ----------------------------------------------------------
+
+/// Parse the inner header, negotiating v1 vs v2 by the version field (v1
+/// reads leave the digest words zero). Rejects unknown versions.
+[[nodiscard]] inline inner_header parse_inner(std::span<const u8> body) {
+  FZMOD_REQUIRE(body.size() >= inner_header_v1_bytes,
+                status::corrupt_archive, "archive body truncated");
+  inner_header hdr{};
+  std::memcpy(&hdr, body.data(), inner_header_v1_bytes);
+  FZMOD_REQUIRE(hdr.magic == inner_magic &&
+                    (hdr.version == 1 || hdr.version == archive_version),
+                status::corrupt_archive, "bad inner header");
+  if (hdr.version >= 2) {
+    FZMOD_REQUIRE(body.size() >= sizeof(inner_header),
+                  status::corrupt_archive, "archive body truncated");
+    std::memcpy(&hdr, body.data(), sizeof(inner_header));
+  }
+  return hdr;
+}
+
+/// Header self-digest check. Runs before any header field (dtype, counts,
+/// bounds) is *interpreted*, so a flipped header bit is always reported as
+/// corruption rather than as a misleading downstream error.
+inline void verify_inner_header(const inner_header& hdr) {
+  if (hdr.version < 2 || !verify_enabled()) return;
+  FZMOD_REQUIRE(header_digest(hdr) == hdr.digest_header,
+                status::corrupt_archive,
+                "archive: header digest mismatch");
+}
+
+/// Dims validation shared by every decode driver: reject overflowing or
+/// zero extents, and bodies too small for their declared element count
+/// (no codec packs more than ~8192 values per byte — the Huffman
+/// chunk-offset table is the loosest floor).
+[[nodiscard]] inline dims3 validate_dims(const inner_header& hdr,
+                                         std::size_t body_size) {
+  const dims3 dims{hdr.dims[0], hdr.dims[1], hdr.dims[2]};
+  FZMOD_REQUIRE(!dims.len_invalid(), status::corrupt_archive,
+                "archive dims out of supported range");
+  FZMOD_REQUIRE(dims.len() / 8192 <= body_size, status::corrupt_archive,
+                "archive too small for its declared dims");
+  return dims;
+}
+
+/// Anchor geometry validation: a zero stride would loop the anchor walk
+/// forever, and a count inconsistent with dims/stride either truncates or
+/// overruns the lattice. (Archives without anchors leave both fields
+/// meaningless.)
+inline void validate_anchor_geometry(const inner_header& hdr, dims3 dims) {
+  if (hdr.n_anchors == 0) return;
+  FZMOD_REQUIRE(hdr.anchor_stride >= 1, status::corrupt_archive,
+                "archive: zero anchor stride");
+  const u64 expected = ((dims.x - 1) / hdr.anchor_stride + 1) *
+                       ((dims.y - 1) / hdr.anchor_stride + 1) *
+                       ((dims.z - 1) / hdr.anchor_stride + 1);
+  FZMOD_REQUIRE(hdr.n_anchors == expected, status::corrupt_archive,
+                "archive: anchor lattice inconsistent with dims/stride");
+}
+
+/// The four payload sections in declaration order.
+struct section_view {
+  std::span<const u8> codec;
+  std::span<const u8> outliers;
+  std::span<const u8> value_outliers;
+  std::span<const u8> anchors;
+};
+
+/// Structural validation of the declared section geometry against the
+/// actual body, then slicing. Every plausibility guard fires before any
+/// count-sized allocation happens downstream.
+[[nodiscard]] inline section_view slice_sections(std::span<const u8> body,
+                                                 const inner_header& hdr) {
+  FZMOD_REQUIRE(hdr.codec_bytes <= body.size() &&
+                    hdr.outlier_bytes <= body.size(),
+                status::corrupt_archive, "archive section size overflow");
+  FZMOD_REQUIRE(hdr.n_outliers <= hdr.outlier_bytes / 2 + 1,
+                status::corrupt_archive, "outlier count implausible");
+  FZMOD_REQUIRE(hdr.n_value_outliers <= body.size() / sizeof(vo_record),
+                status::corrupt_archive, "value outlier count implausible");
+  FZMOD_REQUIRE(hdr.n_anchors <= body.size() / sizeof(i32),
+                status::corrupt_archive, "anchor count implausible");
+  const u64 vo_bytes = hdr.n_value_outliers * sizeof(vo_record);
+  const u64 anchor_bytes = hdr.n_anchors * sizeof(i32);
+  const std::size_t hb = inner_header_bytes(hdr.version);
+  FZMOD_REQUIRE(body.size() >= hb + hdr.codec_bytes + hdr.outlier_bytes +
+                                   vo_bytes + anchor_bytes,
+                status::corrupt_archive, "archive payload truncated");
+  section_view sv;
+  std::size_t off = hb;
+  sv.codec = body.subspan(off, hdr.codec_bytes);
+  off += hdr.codec_bytes;
+  sv.outliers = body.subspan(off, hdr.outlier_bytes);
+  off += hdr.outlier_bytes;
+  sv.value_outliers = body.subspan(off, vo_bytes);
+  off += vo_bytes;
+  sv.anchors = body.subspan(off, anchor_bytes);
+  return sv;
+}
+
+/// Per-section digest check (v2 + verification on). Runs before any
+/// section is decoded, so the codec / varint / anchor parsers only ever
+/// see bytes that match what the compressor wrote.
+inline void verify_sections(const inner_header& hdr,
+                            const section_view& sv) {
+  if (hdr.version < 2 || !verify_enabled()) return;
+  FZMOD_REQUIRE(kernels::chunked_hash(sv.codec) == hdr.digest_codec,
+                status::corrupt_archive,
+                "archive: codec section digest mismatch");
+  FZMOD_REQUIRE(kernels::chunked_hash(sv.outliers) == hdr.digest_outliers,
+                status::corrupt_archive,
+                "archive: outlier section digest mismatch");
+  FZMOD_REQUIRE(
+      kernels::chunked_hash(sv.value_outliers) == hdr.digest_value_outliers,
+      status::corrupt_archive,
+      "archive: value outlier section digest mismatch");
+  FZMOD_REQUIRE(kernels::chunked_hash(sv.anchors) == hdr.digest_anchors,
+                status::corrupt_archive,
+                "archive: anchor section digest mismatch");
+}
+
+// --- varint / outlier packing --------------------------------------------
 
 inline void put_varint(std::vector<u8>& out, u64 v) {
   while (v >= 0x80) {
@@ -77,6 +336,10 @@ inline u64 get_varint(const u8*& p, const u8* end) {
     FZMOD_REQUIRE(p < end, status::corrupt_archive,
                   "archive: truncated varint");
     const u8 b = *p++;
+    // The 10th byte holds bit 63 only: any higher payload bit would be
+    // shifted out silently, decoding a different value than was encoded.
+    FZMOD_REQUIRE(shift < 63 || (b & 0x7e) == 0, status::corrupt_archive,
+                  "archive: varint overflow");
     v |= static_cast<u64>(b & 0x7f) << shift;
     if (!(b & 0x80)) return v;
     shift += 7;
@@ -110,15 +373,24 @@ inline std::vector<u8> pack_outliers(
   return pack_outliers(std::span<kernels::outlier>(outliers));
 }
 
+/// Unpack a delta-coded outlier list. `index_limit` bounds every decoded
+/// index (pass the field length): a delta that wraps the u64 accumulator
+/// or lands outside the field throws instead of producing an index a
+/// scatter loop could write through.
 inline std::vector<kernels::outlier> unpack_outliers(
-    std::span<const u8> bytes, u64 count) {
+    std::span<const u8> bytes, u64 count, u64 index_limit) {
   std::vector<kernels::outlier> out;
   out.reserve(count);
   const u8* p = bytes.data();
   const u8* end = p + bytes.size();
   u64 prev = 0;
   for (u64 k = 0; k < count; ++k) {
-    prev += get_varint(p, end);
+    const u64 delta = get_varint(p, end);
+    // prev < index_limit holds inductively, so this also rules out u64
+    // wraparound of the accumulated index.
+    FZMOD_REQUIRE(delta < index_limit - prev, status::corrupt_archive,
+                  "archive: outlier index out of range");
+    prev += delta;
     const i64 value = zigzag_decode64(get_varint(p, end));
     out.push_back({prev, value});
   }

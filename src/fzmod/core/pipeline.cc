@@ -12,8 +12,6 @@ namespace {
 using fmt::archive_version;
 using fmt::inner_header;
 using fmt::inner_magic;
-using fmt::outer_header;
-using fmt::outer_magic;
 using vo_record = fmt::vo_record;
 
 void put_name(char (&dst)[16], std::string_view name) {
@@ -41,31 +39,19 @@ dtype dtype_of<f64>() {
 }  // namespace
 
 archive_info inspect_archive(std::span<const u8> archive) {
-  FZMOD_REQUIRE(archive.size() >= sizeof(outer_header),
-                status::corrupt_archive, "archive too small");
-  outer_header outer;
-  std::memcpy(&outer, archive.data(), sizeof(outer));
-  FZMOD_REQUIRE(outer.magic == outer_magic, status::corrupt_archive,
-                "bad archive magic");
+  // Metadata-only by contract: no digest verification and no section
+  // decode happens here (verify_archive is the integrity entry point).
+  const fmt::outer_view ov = fmt::parse_outer(archive);
   std::vector<u8> body_storage;
-  std::span<const u8> body = archive.subspan(sizeof(outer));
-  if (outer.secondary) {
+  std::span<const u8> body = ov.stored_body;
+  if (ov.secondary) {
     body_storage = lossless::decompress(body);
     body = body_storage;
   }
-  FZMOD_REQUIRE(body.size() >= sizeof(inner_header), status::corrupt_archive,
-                "archive body truncated");
-  inner_header hdr;
-  std::memcpy(&hdr, body.data(), sizeof(hdr));
-  FZMOD_REQUIRE(hdr.magic == inner_magic && hdr.version == archive_version,
-                status::corrupt_archive, "bad inner header");
+  const inner_header hdr = fmt::parse_inner(body);
   archive_info info;
-  info.dims = {hdr.dims[0], hdr.dims[1], hdr.dims[2]};
-  FZMOD_REQUIRE(!info.dims.len_invalid(), status::corrupt_archive,
-                "archive dims out of supported range");
-  FZMOD_REQUIRE(info.dims.len() / 8192 <= body.size(),
-                status::corrupt_archive,
-                "archive too small for its declared dims");
+  info.dims = fmt::validate_dims(hdr, body.size());
+  info.version = hdr.version;
   info.type = static_cast<dtype>(hdr.type);
   info.eb_user = hdr.eb_user;
   info.mode = static_cast<eb_mode>(hdr.mode);
@@ -74,10 +60,50 @@ archive_info inspect_archive(std::span<const u8> archive) {
   info.preprocessor = get_name(hdr.preprocessor);
   info.predictor = get_name(hdr.predictor);
   info.codec = get_name(hdr.codec);
-  info.secondary = outer.secondary != 0;
+  info.secondary = ov.secondary;
   info.n_outliers = hdr.n_outliers;
   info.n_value_outliers = hdr.n_value_outliers;
   return info;
+}
+
+archive_verify_report verify_archive(std::span<const u8> archive) {
+  archive_verify_report rep;
+  const fmt::outer_view ov = fmt::parse_outer(archive);
+  rep.secondary = ov.secondary;
+  std::vector<u8> body_storage;
+  std::span<const u8> body = ov.stored_body;
+  if (ov.v2) {
+    if (ov.secondary) {
+      rep.body_ok = fmt::seal_digest(kernels::chunked_hash(ov.stored_body),
+                                     1) == ov.body_digest;
+    } else {
+      rep.body_ok = ov.body_digest == 0;
+    }
+  }
+  if (ov.secondary) {
+    if (ov.v2 && !rep.body_ok) {
+      // The sealed digest already failed; don't hand the untrusted blob
+      // to the LZ parser — report what we know.
+      rep.header_ok = rep.codec_ok = rep.outliers_ok = false;
+      rep.value_outliers_ok = rep.anchors_ok = false;
+      rep.version = 2;
+      return rep;
+    }
+    body_storage = lossless::decompress(body);
+    body = body_storage;
+  }
+  const inner_header hdr = fmt::parse_inner(body);
+  rep.version = hdr.version;
+  if (hdr.version < 2) return rep;  // v1: nothing to verify against
+  rep.header_ok = fmt::header_digest(hdr) == hdr.digest_header;
+  const fmt::section_view sv = fmt::slice_sections(body, hdr);
+  rep.codec_ok = kernels::chunked_hash(sv.codec) == hdr.digest_codec;
+  rep.outliers_ok =
+      kernels::chunked_hash(sv.outliers) == hdr.digest_outliers;
+  rep.value_outliers_ok = kernels::chunked_hash(sv.value_outliers) ==
+                          hdr.digest_value_outliers;
+  rep.anchors_ok = kernels::chunked_hash(sv.anchors) == hdr.digest_anchors;
+  return rep;
 }
 
 template <class T>
@@ -172,12 +198,12 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   const u64 anchor_bytes = hdr.n_anchors * sizeof(i32);
   std::vector<u8> inner(sizeof(hdr) + codec_blob.size() +
                         packed_outliers.size() + vo_bytes + anchor_bytes);
-  u8* p = inner.data();
-  std::memcpy(p, &hdr, sizeof(hdr));
-  p += sizeof(hdr);
+  u8* p = inner.data() + sizeof(hdr);  // header lands last (after digests)
   std::memcpy(p, codec_blob.data(), codec_blob.size());
   p += codec_blob.size();
-  std::memcpy(p, packed_outliers.data(), packed_outliers.size());
+  if (!packed_outliers.empty()) {
+    std::memcpy(p, packed_outliers.data(), packed_outliers.size());
+  }
   p += packed_outliers.size();
   for (const auto& [idx, val] : field.value_outliers) {
     const vo_record r{idx, val};
@@ -189,23 +215,51 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
     p += anchor_bytes;
   }
 
-  // Stage 4: optional secondary lossless encoder over the whole body.
+  // Section digests (v2): hash the serialized sections in place, then the
+  // header's self-digest, then write the completed header.
   sw.reset();
-  outer_header outer{outer_magic, static_cast<u8>(cfg_.secondary ? 1 : 0),
-                     {}};
+  {
+    const u8* sec = inner.data() + sizeof(hdr);
+    hdr.digest_codec = kernels::chunked_hash({sec, codec_blob.size()});
+    sec += codec_blob.size();
+    hdr.digest_outliers =
+        kernels::chunked_hash({sec, packed_outliers.size()});
+    sec += packed_outliers.size();
+    hdr.digest_value_outliers = kernels::chunked_hash({sec, vo_bytes});
+    sec += vo_bytes;
+    hdr.digest_anchors = kernels::chunked_hash({sec, anchor_bytes});
+    hdr.digest_header = fmt::header_digest(hdr);
+  }
+  std::memcpy(inner.data(), &hdr, sizeof(hdr));
+  compress_timings_.verify = sw.seconds();
+
+  // Stage 4: optional secondary lossless encoder over the whole body. The
+  // outer header seals a whole-body digest over the stored LZ blob so the
+  // decode side can verify before LZ-parsing it.
+  sw.reset();
+  fmt::outer_header_v2 outer{fmt::outer_magic_v2,
+                             static_cast<u8>(cfg_.secondary ? 1 : 0),
+                             {},
+                             0};
   std::vector<u8> archive;
   if (cfg_.secondary) {
     std::vector<u8> packed = lossless::compress(inner);
+    const f64 lz_s = sw.seconds();
+    sw.reset();
+    outer.body_digest = fmt::seal_digest(kernels::chunked_hash(packed), 1);
+    compress_timings_.verify += sw.seconds();
+    sw.reset();
     archive.resize(sizeof(outer) + packed.size());
     std::memcpy(archive.data(), &outer, sizeof(outer));
     std::memcpy(archive.data() + sizeof(outer), packed.data(),
                 packed.size());
+    compress_timings_.secondary = lz_s + sw.seconds();
   } else {
     archive.resize(sizeof(outer) + inner.size());
     std::memcpy(archive.data(), &outer, sizeof(outer));
     std::memcpy(archive.data() + sizeof(outer), inner.data(), inner.size());
+    compress_timings_.secondary = sw.seconds();
   }
-  compress_timings_.secondary = sw.seconds();
   return archive;
 }
 
@@ -222,56 +276,34 @@ std::vector<u8> pipeline<T>::compress(std::span<const T> host_data,
 template <class T>
 void pipeline<T>::decompress(std::span<const u8> archive,
                              device::buffer<T>& out, device::stream& s) {
-  FZMOD_REQUIRE(archive.size() >= sizeof(outer_header),
-                status::corrupt_archive, "archive too small");
   stopwatch sw;
-  outer_header outer;
-  std::memcpy(&outer, archive.data(), sizeof(outer));
-  FZMOD_REQUIRE(outer.magic == outer_magic, status::corrupt_archive,
-                "bad archive magic");
+  const fmt::outer_view ov = fmt::parse_outer(archive);
+  fmt::verify_outer(ov);  // whole-body digest, before LZ parses the blob
+  decompress_timings_.verify = sw.seconds();
+  sw.reset();
   std::vector<u8> body_storage;
-  std::span<const u8> body = archive.subspan(sizeof(outer));
-  if (outer.secondary) {
+  std::span<const u8> body = ov.stored_body;
+  if (ov.secondary) {
     body_storage = lossless::decompress(body);
     body = body_storage;
   }
   decompress_timings_.secondary = sw.seconds();
 
-  FZMOD_REQUIRE(body.size() >= sizeof(inner_header), status::corrupt_archive,
-                "archive body truncated");
-  inner_header hdr;
-  std::memcpy(&hdr, body.data(), sizeof(hdr));
-  FZMOD_REQUIRE(hdr.magic == inner_magic && hdr.version == archive_version,
-                status::corrupt_archive, "bad inner header");
+  sw.reset();
+  const inner_header hdr = fmt::parse_inner(body);
+  fmt::verify_inner_header(hdr);
+  decompress_timings_.verify += sw.seconds();
   FZMOD_REQUIRE(hdr.type == static_cast<u8>(dtype_of<T>()),
                 status::invalid_argument,
                 "archive dtype does not match pipeline element type");
-  const dims3 dims{hdr.dims[0], hdr.dims[1], hdr.dims[2]};
-  FZMOD_REQUIRE(!dims.len_invalid(), status::corrupt_archive,
-                "archive dims out of supported range");
+  const dims3 dims = fmt::validate_dims(hdr, body.size());
   FZMOD_REQUIRE(out.size() == dims.len(), status::invalid_argument,
                 "pipeline: output size does not match archive dims");
-  // Resource guards before any header-sized allocation: no codec packs
-  // more than ~8192 values per byte (the Huffman chunk-offset table is
-  // the loosest floor), and each packed outlier costs >= 2 bytes.
-  FZMOD_REQUIRE(dims.len() / 8192 <= body.size(), status::corrupt_archive,
-                "archive too small for its declared dims");
-  FZMOD_REQUIRE(hdr.codec_bytes <= body.size() &&
-                    hdr.outlier_bytes <= body.size(),
-                status::corrupt_archive, "archive section size overflow");
-  FZMOD_REQUIRE(hdr.n_outliers <= hdr.outlier_bytes / 2 + 1,
-                status::corrupt_archive, "outlier count implausible");
-  FZMOD_REQUIRE(hdr.n_value_outliers <= body.size() / sizeof(vo_record),
-                status::corrupt_archive, "value outlier count implausible");
-  FZMOD_REQUIRE(hdr.n_anchors <= body.size() / sizeof(i32),
-                status::corrupt_archive, "anchor count implausible");
-
-  const u64 vo_bytes = hdr.n_value_outliers * sizeof(vo_record);
-  const u64 anchor_bytes = hdr.n_anchors * sizeof(i32);
-  FZMOD_REQUIRE(body.size() >= sizeof(hdr) + hdr.codec_bytes +
-                                   hdr.outlier_bytes + vo_bytes +
-                                   anchor_bytes,
-                status::corrupt_archive, "archive payload truncated");
+  fmt::validate_anchor_geometry(hdr, dims);
+  const fmt::section_view sections = fmt::slice_sections(body, hdr);
+  sw.reset();
+  fmt::verify_sections(hdr, sections);  // before any section is decoded
+  decompress_timings_.verify += sw.seconds();
 
   // Resolve the modules the archive names (may be custom, user-registered).
   auto& reg = module_registry<T>::instance();
@@ -286,27 +318,27 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   field.radius = hdr.radius;
   field.ebx2 = hdr.ebx2;
   field.codes.ensure(dims.len(), device::space::device);
-  const u8* p = body.data() + sizeof(hdr);
-  codec->decode({p, hdr.codec_bytes}, hdr.radius, field.codes, s);
-  p += hdr.codec_bytes;
+  codec->decode(sections.codec, hdr.radius, field.codes, s);
   decompress_timings_.encode = sw.seconds();
 
   sw.reset();
   field.n_outliers = hdr.n_outliers;
   field.outliers.ensure(hdr.n_outliers, device::space::device);
   if (hdr.n_outliers) {
-    const auto unpacked =
-        fmt::unpack_outliers({p, hdr.outlier_bytes}, hdr.n_outliers);
+    const auto unpacked = fmt::unpack_outliers(sections.outliers,
+                                               hdr.n_outliers, dims.len());
     device::memcpy_async(field.outliers.data(), unpacked.data(),
                          hdr.n_outliers * sizeof(kernels::outlier),
                          device::copy_kind::h2d, s);
     s.sync();
   }
-  p += hdr.outlier_bytes;
+  const u8* p = sections.value_outliers.data();
   field.value_outliers.resize(hdr.n_value_outliers);
   for (auto& [idx, val] : field.value_outliers) {
     vo_record r;
     std::memcpy(&r, p, sizeof(r));
+    FZMOD_REQUIRE(r.index < dims.len(), status::corrupt_archive,
+                  "archive: value outlier index out of range");
     idx = r.index;
     val = r.value;
     p += sizeof(r);
@@ -314,7 +346,10 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   predictors::interp_anchors& anchors = decompress_anchors_;
   anchors.stride = hdr.anchor_stride;
   anchors.lattice.resize(hdr.n_anchors);
-  if (anchor_bytes) std::memcpy(anchors.lattice.data(), p, anchor_bytes);
+  if (!sections.anchors.empty()) {
+    std::memcpy(anchors.lattice.data(), sections.anchors.data(),
+                sections.anchors.size());
+  }
 
   // Stage 2 inverse: reconstruct, then stage 1 inverse (value transform).
   predictor->decompress(field, anchors, out, s);
@@ -330,6 +365,10 @@ void pipeline<T>::decompress(std::span<const u8> archive,
 
 template <class T>
 std::vector<T> pipeline<T>::decompress(std::span<const u8> archive) {
+  // inspect_archive is metadata-only and will LZ-parse a secondary body
+  // to reach the inner header; check the sealed whole-body digest first
+  // so a corrupted blob is rejected before any parser touches it.
+  fmt::verify_outer(fmt::parse_outer(archive));
   const archive_info info = inspect_archive(archive);
   device::stream s;
   device::buffer<T> dev(info.dims.len(), device::space::device);

@@ -21,8 +21,9 @@ struct stage_timings {
   f64 predict = 0;
   f64 encode = 0;
   f64 secondary = 0;
+  f64 verify = 0;  ///< digest computation (compress) / verification (decode)
   [[nodiscard]] f64 total() const {
-    return preprocess + predict + encode + secondary;
+    return preprocess + predict + encode + secondary + verify;
   }
 };
 
@@ -40,9 +41,35 @@ struct archive_info {
   bool secondary = false;
   u64 n_outliers = 0;
   u64 n_value_outliers = 0;
+  u16 version = 1;  ///< archive format version (1 = pre-checksum, 2 = v2)
 };
 
 [[nodiscard]] archive_info inspect_archive(std::span<const u8> archive);
+
+/// Result of verify_archive(): per-section digest checks of a v2 archive.
+/// A v1 archive carries no digests, so every field reports true and
+/// `version` tells the caller nothing was actually checked.
+struct archive_verify_report {
+  u16 version = 1;
+  bool secondary = false;
+  bool body_ok = true;     ///< outer whole-body digest (sealed; secondary)
+  bool header_ok = true;   ///< inner-header self-digest
+  bool codec_ok = true;    ///< codec blob section digest
+  bool outliers_ok = true; ///< packed-outlier section digest
+  bool value_outliers_ok = true;
+  bool anchors_ok = true;
+  [[nodiscard]] bool ok() const {
+    return body_ok && header_ok && codec_ok && outliers_ok &&
+           value_outliers_ok && anchors_ok;
+  }
+};
+
+/// Check every digest a v2 archive carries without decoding its payload.
+/// Structural corruption (bad magic, truncation, implausible counts) still
+/// throws status::corrupt_archive; digest mismatches are reported, not
+/// thrown, so the CLI can print which section is damaged. Runs regardless
+/// of the FZMOD_VERIFY switch — calling this *is* opting in.
+[[nodiscard]] archive_verify_report verify_archive(std::span<const u8> archive);
 
 template <class T>
 class pipeline {

@@ -143,4 +143,14 @@ std::vector<f32> snapshot_reader::read(std::string_view name) const {
   return pipe.decompress(archive(name));
 }
 
+archive_verify_report snapshot_reader::verify(std::string_view name) const {
+  return verify_archive(archive(name));
+}
+
+bool snapshot_reader::verify_all() const {
+  return std::all_of(entries_.begin(), entries_.end(), [&](const auto& e) {
+    return verify_archive(blob_.subspan(e.offset, e.bytes)).ok();
+  });
+}
+
 }  // namespace fzmod::core

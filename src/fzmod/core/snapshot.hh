@@ -70,6 +70,14 @@ class snapshot_reader {
   /// The raw archive bytes of one field (for re-packing or inspection).
   [[nodiscard]] std::span<const u8> archive(std::string_view name) const;
 
+  /// Integrity-check one field's archive without decoding it (see
+  /// core::verify_archive). Throws status::invalid_argument for unknown
+  /// names, status::corrupt_archive for structural damage.
+  [[nodiscard]] archive_verify_report verify(std::string_view name) const;
+
+  /// Integrity-check every field. Returns true iff all digests match.
+  [[nodiscard]] bool verify_all() const;
+
  private:
   const snapshot_entry& find(std::string_view name) const;
   std::span<const u8> blob_;

@@ -1,5 +1,6 @@
 #include "fzmod/core/stf_pipeline.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -202,44 +203,57 @@ std::vector<u8> stf_compress(std::span<const f32> data, dims3 dims,
       fmt::pack_outliers(std::move(side->outliers));
   hdr.outlier_bytes = packed_outliers.size();
 
+  // Value outliers are collected under a lock in scheduling order; sort
+  // so archives are byte-deterministic (matches core::pipeline).
+  std::sort(side->value_outliers.begin(), side->value_outliers.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+
   const u64 vo_bytes = hdr.n_value_outliers * sizeof(fmt::vo_record);
-  fmt::outer_header outer{fmt::outer_magic, 0, {}};
+  const fmt::outer_header_v2 outer{fmt::outer_magic_v2, 0, {}, 0};
   std::vector<u8> archive(sizeof(outer) + sizeof(hdr) +
                           side->huffman_blob.size() +
                           packed_outliers.size() + vo_bytes);
   u8* p = archive.data();
   std::memcpy(p, &outer, sizeof(outer));
-  p += sizeof(outer);
-  std::memcpy(p, &hdr, sizeof(hdr));
-  p += sizeof(hdr);
+  u8* const header_slot = p + sizeof(outer);
+  p = header_slot + sizeof(hdr);  // header lands last (after digests)
+  const u8* const codec_at = p;
   std::memcpy(p, side->huffman_blob.data(), side->huffman_blob.size());
   p += side->huffman_blob.size();
-  std::memcpy(p, packed_outliers.data(), packed_outliers.size());
+  const u8* const outliers_at = p;
+  if (!packed_outliers.empty()) {
+    std::memcpy(p, packed_outliers.data(), packed_outliers.size());
+  }
   p += packed_outliers.size();
-  std::memcpy(p, side->value_outliers.data(), vo_bytes);
+  const u8* const vo_at = p;
+  if (vo_bytes != 0) {
+    std::memcpy(p, side->value_outliers.data(), vo_bytes);
+  }
+
+  hdr.digest_codec =
+      kernels::chunked_hash({codec_at, side->huffman_blob.size()});
+  hdr.digest_outliers =
+      kernels::chunked_hash({outliers_at, packed_outliers.size()});
+  hdr.digest_value_outliers = kernels::chunked_hash({vo_at, vo_bytes});
+  hdr.digest_anchors = kernels::chunked_hash({});  // stf writes no anchors
+  hdr.digest_header = fmt::header_digest(hdr);
+  std::memcpy(header_slot, &hdr, sizeof(hdr));
   return archive;
 }
 
 std::vector<f32> stf_decompress(std::span<const u8> archive) {
-  FZMOD_REQUIRE(archive.size() >= sizeof(fmt::outer_header),
-                status::corrupt_archive, "stf: archive too small");
-  fmt::outer_header outer;
-  std::memcpy(&outer, archive.data(), sizeof(outer));
-  FZMOD_REQUIRE(outer.magic == fmt::outer_magic, status::corrupt_archive,
-                "stf: bad archive magic");
+  // Same version negotiation + verification policy as core::pipeline —
+  // both drivers read the one format, via the shared fmt helpers.
+  const fmt::outer_view ov = fmt::parse_outer(archive);
+  fmt::verify_outer(ov);
   std::vector<u8> body_storage;
-  std::span<const u8> body = archive.subspan(sizeof(outer));
-  if (outer.secondary) {
+  std::span<const u8> body = ov.stored_body;
+  if (ov.secondary) {
     body_storage = lossless::decompress(body);
     body = body_storage;
   }
-  FZMOD_REQUIRE(body.size() >= sizeof(fmt::inner_header),
-                status::corrupt_archive, "stf: archive body truncated");
-  fmt::inner_header hdr;
-  std::memcpy(&hdr, body.data(), sizeof(hdr));
-  FZMOD_REQUIRE(hdr.magic == fmt::inner_magic &&
-                    hdr.version == fmt::archive_version,
-                status::corrupt_archive, "stf: bad inner header");
+  const fmt::inner_header hdr = fmt::parse_inner(body);
+  fmt::verify_inner_header(hdr);
   FZMOD_REQUIRE(std::string_view(hdr.predictor) == "lorenzo" &&
                     std::string_view(hdr.codec) == "huffman",
                 status::unsupported,
@@ -248,41 +262,23 @@ std::vector<f32> stf_decompress(std::span<const u8> archive) {
                     std::string_view(hdr.preprocessor) == "none",
                 status::unsupported,
                 "stf driver does not support transforming preprocessors");
-  const dims3 dims{hdr.dims[0], hdr.dims[1], hdr.dims[2]};
-  FZMOD_REQUIRE(!dims.len_invalid(), status::corrupt_archive,
-                "stf: archive dims out of supported range");
+  const dims3 dims = fmt::validate_dims(hdr, body.size());
   const std::size_t n = dims.len();
   const int radius = hdr.radius;
   const f64 ebx2 = hdr.ebx2;
-
-  // Resource guards mirroring the synchronous driver's.
-  FZMOD_REQUIRE(n / 8192 <= body.size(), status::corrupt_archive,
-                "stf: archive too small for its declared dims");
-  FZMOD_REQUIRE(hdr.codec_bytes <= body.size() &&
-                    hdr.outlier_bytes <= body.size() &&
-                    hdr.n_outliers <= hdr.outlier_bytes / 2 + 1 &&
-                    hdr.n_value_outliers <=
-                        body.size() / sizeof(fmt::vo_record),
-                status::corrupt_archive, "stf: implausible section sizes");
-  const u64 vo_bytes = hdr.n_value_outliers * sizeof(fmt::vo_record);
-  FZMOD_REQUIRE(body.size() >= sizeof(hdr) + hdr.codec_bytes +
-                                   hdr.outlier_bytes + vo_bytes,
-                status::corrupt_archive, "stf: archive payload truncated");
+  fmt::validate_anchor_geometry(hdr, dims);
+  const fmt::section_view sections = fmt::slice_sections(body, hdr);
+  fmt::verify_sections(hdr, sections);
 
   // Stage the variable payloads (shared_ptr: tasks outlive this frame's
   // locals only through captures).
-  auto blob = std::make_shared<std::vector<u8>>(
-      body.begin() + sizeof(hdr),
-      body.begin() + sizeof(hdr) + hdr.codec_bytes);
+  auto blob = std::make_shared<std::vector<u8>>(sections.codec.begin(),
+                                                sections.codec.end());
   auto outliers = std::make_shared<std::vector<kernels::outlier>>(
-      fmt::unpack_outliers(
-          {body.data() + sizeof(hdr) + hdr.codec_bytes, hdr.outlier_bytes},
-          hdr.n_outliers));
+      fmt::unpack_outliers(sections.outliers, hdr.n_outliers, n));
   std::vector<fmt::vo_record> value_outliers(hdr.n_value_outliers);
-  std::memcpy(value_outliers.data(),
-              body.data() + sizeof(hdr) + hdr.codec_bytes +
-                  hdr.outlier_bytes,
-              vo_bytes);
+  std::memcpy(value_outliers.data(), sections.value_outliers.data(),
+              sections.value_outliers.size());
 
   stf::context ctx;
   auto ld_codes = ctx.make_data<u16>(n);

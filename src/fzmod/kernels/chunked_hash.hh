@@ -1,0 +1,76 @@
+// FZModules — data-parallel chunked payload hashing (archive integrity).
+//
+// Digest definition (fixed by docs/FORMAT.md, independent of thread count
+// and launch geometry):
+//   - payloads up to one chunk (64 KiB) hash as a single xxhash64 with
+//     seed 0 (the empty payload has a well-defined digest);
+//   - larger payloads are cut into fixed 64 KiB chunks, each chunk hashed
+//     independently (this is the data-parallel part — on a GPU each chunk
+//     is one block's grid-stride slice), and the little-endian array of
+//     chunk digests is hashed with the chunk count as seed.
+//
+// Both sides of the format use the same definition, so the CUDA port only
+// has to reproduce per-chunk xxhash64, not any reduction-order detail.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "fzmod/common/hash.hh"
+#include "fzmod/device/runtime.hh"
+
+namespace fzmod::kernels {
+
+/// Fixed chunk size of the parallel digest. Part of the on-disk format —
+/// changing it changes every v2 digest.
+inline constexpr std::size_t hash_chunk_bytes = 64 * 1024;
+
+/// Stream-ordered chunked hash of `n` raw bytes into *out. The pointer may
+/// live in either memory space (the kernel only reads bytes); the caller
+/// keeps `data` and `out` alive until the stream op has run.
+inline void chunked_hash_async(const u8* data, std::size_t n, u64* out,
+                               device::stream& s) {
+  s.enqueue([data, n, out] {
+    auto& rt = device::runtime::instance();
+    rt.stats().kernels_launched += 1;
+    const std::size_t nchunks =
+        n ? (n + hash_chunk_bytes - 1) / hash_chunk_bytes : 0;
+    if (nchunks <= 1) {
+      *out = common::xxhash64(data, n, 0);
+      return;
+    }
+    std::vector<u64> partial(nchunks);
+    rt.pool().parallel_for(
+        nchunks, 1, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t c = lo; c < hi; ++c) {
+            const std::size_t beg = c * hash_chunk_bytes;
+            partial[c] = common::xxhash64(
+                data + beg, std::min(hash_chunk_bytes, n - beg), 0);
+          }
+        });
+    *out = common::xxhash64(partial.data(), nchunks * sizeof(u64), nchunks);
+  });
+}
+
+/// Synchronous form for serialization paths that already own the host
+/// thread (archive assembly, decode-side verification). Same digest as the
+/// async kernel; still data-parallel over the worker pool.
+[[nodiscard]] inline u64 chunked_hash(std::span<const u8> bytes) {
+  auto& rt = device::runtime::instance();
+  rt.stats().kernels_launched += 1;
+  const std::size_t n = bytes.size();
+  const std::size_t nchunks =
+      n ? (n + hash_chunk_bytes - 1) / hash_chunk_bytes : 0;
+  if (nchunks <= 1) return common::xxhash64(bytes.data(), n, 0);
+  std::vector<u64> partial(nchunks);
+  rt.pool().parallel_for(nchunks, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const std::size_t beg = c * hash_chunk_bytes;
+      partial[c] = common::xxhash64(bytes.data() + beg,
+                                    std::min(hash_chunk_bytes, n - beg), 0);
+    }
+  });
+  return common::xxhash64(partial.data(), nchunks * sizeof(u64), nchunks);
+}
+
+}  // namespace fzmod::kernels

@@ -231,7 +231,11 @@ void interp_decompress_async(const quant_field& field,
       raw.emplace(idx, val);
     }
 
-    // Anchors.
+    // Anchors. A zero stride would pin the lattice walk in place; the
+    // drivers validate anchor geometry against the header, this guard is
+    // for direct (non-archive) callers.
+    FZMOD_REQUIRE(anchors.stride >= 1, status::corrupt_archive,
+                  "interp: zero anchor stride");
     std::size_t a = 0;
     for_each_anchor(dims, anchors.stride, [&](std::size_t idx) {
       FZMOD_REQUIRE(a < anchors.lattice.size(), status::corrupt_archive,

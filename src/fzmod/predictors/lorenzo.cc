@@ -207,8 +207,12 @@ void lorenzo_decompress_async(const quant_field& field,
   if (!field.value_outliers.empty()) {
     const auto* vo = &field.value_outliers;
     T* outp = data.data();
-    device::host_task(s, [vo, outp] {
-      for (const auto& [idx, val] : *vo) outp[idx] = static_cast<T>(val);
+    device::host_task(s, [vo, outp, n] {
+      for (const auto& [idx, val] : *vo) {
+        FZMOD_REQUIRE(idx < n, status::corrupt_archive,
+                      "lorenzo: value outlier index out of range");
+        outp[idx] = static_cast<T>(val);
+      }
     });
   }
 }

@@ -104,14 +104,19 @@ TEST(ArchiveFormat, HeaderRejectsWrongVersionMagic) {
   const auto v = positive_field(d);
   pipeline<f32> p(pipeline_config{});
   auto archive = p.compress(v, d);
-  // Outer magic at offset 0; inner magic right after the 8-byte outer
+  // Outer magic at offset 0; inner magic right after the 16-byte v2 outer
   // header. Flip each and expect rejection.
   auto bad_outer = archive;
   bad_outer[0] ^= 0x01;
   EXPECT_THROW((void)p.decompress(bad_outer), error);
   auto bad_inner = archive;
-  bad_inner[8] ^= 0x01;
+  bad_inner[16] ^= 0x01;
   EXPECT_THROW((void)p.decompress(bad_inner), error);
+  // The inner version field follows the inner magic; an unknown version
+  // must be rejected, not guessed at.
+  auto bad_version = archive;
+  bad_version[20] = 7;
+  EXPECT_THROW((void)p.decompress(bad_version), error);
 }
 
 TEST(ArchiveFormat, ArchiveSmallerThanRawForCompressibleData) {
@@ -148,20 +153,36 @@ TEST(ArchiveFormat, DeterministicCompression) {
 
 TEST(ArchiveFormat, InspectDoesNotRequireModulesToRun) {
   // inspect_archive parses metadata only — even for archives whose codec
-  // payload is garbage (it must not attempt decode).
+  // payload is garbage (it must not attempt decode, and by contract it
+  // does not verify digests either; verify_archive is the integrity
+  // entry point).
   const dims3 d{500};
   const auto v = positive_field(d);
   pipeline<f32> p(pipeline_config{});
   auto archive = p.compress(v, d);
-  // Stomp the codec payload region (after outer+inner headers).
-  for (std::size_t i = 160; i < std::min<std::size_t>(archive.size(), 200);
+  // Stomp the codec payload region (after the 16-byte outer and 192-byte
+  // v2 inner headers).
+  for (std::size_t i = 208; i < std::min<std::size_t>(archive.size(), 248);
        ++i) {
     archive[i] = 0xAA;
   }
   EXPECT_NO_THROW({
     const auto info = inspect_archive(archive);
     EXPECT_EQ(info.dims, d);
+    EXPECT_EQ(info.version, 2);
   });
+  // The stomped section *is* flagged by the integrity checker...
+  const auto rep = verify_archive(archive);
+  EXPECT_EQ(rep.version, 2);
+  EXPECT_FALSE(rep.codec_ok);
+  EXPECT_TRUE(rep.header_ok);
+  // ...and rejected by a verifying decode.
+  try {
+    (void)p.decompress(archive);
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::corrupt_archive);
+  }
 }
 
 }  // namespace

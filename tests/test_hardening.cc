@@ -9,6 +9,7 @@
 
 #include "fzmod/baselines/compressor.hh"
 #include "fzmod/common/error.hh"
+#include "fzmod/core/archive_format.hh"
 #include "fzmod/core/pipeline.hh"
 #include "fzmod/encoders/huffman.hh"
 #include "fzmod/lossless/lz.hh"
@@ -24,17 +25,26 @@ std::vector<f32> field(std::size_t n) {
   return v;
 }
 
+/// Scope guard that turns digest verification off, so tests exercise the
+/// *structural* guards directly (with digests on, any header forgery is
+/// caught by the header self-digest before the structural check runs).
+struct verify_off {
+  verify_off() { core::fmt::set_verify_enabled(false); }
+  ~verify_off() { core::fmt::set_verify_enabled(true); }
+};
+
 // Forge an archive whose inner header declares absurd dims and verify the
 // resource guard fires before any allocation-sized-by-dims happens.
 TEST(Hardening, ForgedDimsRejected) {
+  const verify_off off;
   const dims3 d{1000};
   const auto v = field(d.len());
   core::pipeline<f32> p(core::pipeline_config{});
   auto archive = p.compress(v, d);
-  // inner_header.dims sits after outer(8) + magic(4)+ver(2)+type(1)+
-  // mode(1)+eb(8)+ebx2(8) = offset 8+24 = 32.
+  // inner_header.dims sits after outer(16) + magic(4)+ver(2)+type(1)+
+  // mode(1)+eb(8)+ebx2(8) = offset 16+24 = 40.
   u64 huge = u64{1} << 60;
-  std::memcpy(archive.data() + 32, &huge, sizeof(huge));
+  std::memcpy(archive.data() + 40, &huge, sizeof(huge));
   try {
     (void)p.decompress(archive);
     FAIL() << "should have thrown";
@@ -44,18 +54,86 @@ TEST(Hardening, ForgedDimsRejected) {
 }
 
 TEST(Hardening, ForgedOutlierCountRejected) {
+  const verify_off off;
   const dims3 d{2000};
   const auto v = field(d.len());
   core::pipeline<f32> p(core::pipeline_config{});
   auto archive = p.compress(v, d);
   const auto info = core::inspect_archive(archive);
-  // n_outliers field offset in the inner header: after outer(8) +
+  // n_outliers field offset in the inner header: after outer(16) +
   // magic..radius+hist+pad (4+2+1+1+8+8+24+4+1+3 = 56) + 3 names (48) =
-  // 8 + 56 + 48 = 112.
+  // 16 + 56 + 48 = 120.
   u64 huge = u64{1} << 40;
-  std::memcpy(archive.data() + 112, &huge, sizeof(huge));
+  std::memcpy(archive.data() + 120, &huge, sizeof(huge));
   EXPECT_THROW((void)p.decompress(archive), error);
   (void)info;
+}
+
+TEST(Hardening, VarintOverflowRejected) {
+  // A 10th varint byte may only hold bit 63; any higher payload bit used
+  // to be shifted out silently, decoding a different value than encoded.
+  const u8 bytes[] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                      0x80, 0x80, 0x80, 0x80, 0x02};
+  const u8* p = bytes;
+  try {
+    (void)core::fmt::get_varint(p, bytes + sizeof(bytes));
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::corrupt_archive);
+  }
+  // Bit 63 alone is a legitimate encoding and must still decode.
+  std::vector<u8> top;
+  core::fmt::put_varint(top, u64{1} << 63);
+  const u8* q = top.data();
+  EXPECT_EQ(core::fmt::get_varint(q, top.data() + top.size()),
+            u64{1} << 63);
+}
+
+TEST(Hardening, OutlierIndexWraparoundRejected) {
+  // Delta-coded outlier indices accumulate in a u64; a hostile delta that
+  // wraps the accumulator (or merely exits the field) must throw, not
+  // hand a scatter loop an in-range-looking index.
+  std::vector<u8> packed;
+  core::fmt::put_varint(packed, 10);                   // index 10: fine
+  core::fmt::put_varint(packed, zigzag_encode64(1));   // value
+  core::fmt::put_varint(packed, ~u64{0} - 5);          // wrapping delta
+  core::fmt::put_varint(packed, zigzag_encode64(2));
+  try {
+    (void)core::fmt::unpack_outliers(packed, 2, 1000);
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::corrupt_archive);
+  }
+  // In-range deltas still unpack.
+  std::vector<u8> good;
+  core::fmt::put_varint(good, 10);
+  core::fmt::put_varint(good, zigzag_encode64(1));
+  core::fmt::put_varint(good, 989);  // lands on index 999 < 1000
+  core::fmt::put_varint(good, zigzag_encode64(2));
+  const auto out = core::fmt::unpack_outliers(good, 2, 1000);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].index, 999u);
+}
+
+TEST(Hardening, ZeroAnchorStrideRejected) {
+  // anchor_stride = 0 would pin the anchor lattice walk in place.
+  core::fmt::inner_header hdr{};
+  hdr.dims[0] = 100;
+  hdr.dims[1] = hdr.dims[2] = 1;
+  hdr.n_anchors = 4;
+  hdr.anchor_stride = 0;
+  try {
+    core::fmt::validate_anchor_geometry(hdr, dims3{100});
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::corrupt_archive);
+  }
+  // A count inconsistent with dims/stride is equally hostile.
+  hdr.anchor_stride = 64;
+  hdr.n_anchors = 3;  // (100-1)/64+1 = 2 expected
+  EXPECT_THROW(core::fmt::validate_anchor_geometry(hdr, dims3{100}), error);
+  hdr.n_anchors = 2;
+  EXPECT_NO_THROW(core::fmt::validate_anchor_geometry(hdr, dims3{100}));
 }
 
 TEST(Hardening, HuffmanNonMonotonicOffsetsRejected) {

@@ -8,6 +8,7 @@
 //   fzmod decompress -i field.fzmod -o field.f32
 //   fzmod inspect    -i field.fzmod
 //   fzmod gen        --dataset cesm|hacc|hurr|nyx [--field N] -o out.f32
+//   fzmod verify     -i field.fzmod               (archive integrity)
 //   fzmod verify     -a orig.f32 -b recon.f32 --dims X[,Y[,Z]]
 //   fzmod selftest   (end-to-end roundtrip in a temp dir; used by ctest)
 //
@@ -44,6 +45,8 @@ using namespace fzmod;
                "  fzmod inspect    -i IN.fzmod\n"
                "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
                " [--field N] -o OUT.f32\n"
+               "  fzmod verify     -i IN.fzmod            (archive"
+               " integrity)\n"
                "  fzmod verify     -a ORIG.f32 -b RECON.f32 --dims"
                " X[,Y[,Z]]\n"
                "  fzmod selftest\n");
@@ -166,6 +169,8 @@ int cmd_decompress(const args& a) {
 int cmd_inspect(const args& a) {
   const auto archive = data::read_file(a.require("-i"));
   const auto info = core::inspect_archive(archive);
+  std::printf("format        : v%u%s\n", static_cast<unsigned>(info.version),
+              info.version >= 2 ? " (checksummed)" : "");
   std::printf("dims          : %zu x %zu x %zu (%zu values)\n", info.dims.x,
               info.dims.y, info.dims.z, info.dims.len());
   std::printf("dtype         : %s\n", to_string(info.type));
@@ -203,6 +208,29 @@ int cmd_gen(const args& a) {
 }
 
 int cmd_verify(const args& a) {
+  // Archive-integrity mode: check the digests an archive carries.
+  if (a.has("-i")) {
+    const auto archive = data::read_file(a.require("-i"));
+    const auto rep = core::verify_archive(archive);
+    std::printf("format version : v%u\n", static_cast<unsigned>(rep.version));
+    if (rep.version < 2) {
+      std::printf("archive        : structurally valid (v1 carries no"
+                  " digests)\n");
+      return 0;
+    }
+    const auto row = [](const char* name, bool ok) {
+      std::printf("%-14s : %s\n", name, ok ? "ok" : "DIGEST MISMATCH");
+    };
+    if (rep.secondary) row("body (lz)", rep.body_ok);
+    row("header", rep.header_ok);
+    row("codec", rep.codec_ok);
+    row("outliers", rep.outliers_ok);
+    row("value outliers", rep.value_outliers_ok);
+    row("anchors", rep.anchors_ok);
+    std::printf("archive        : %s\n", rep.ok() ? "OK" : "CORRUPT");
+    return rep.ok() ? 0 : 1;
+  }
+  // Reconstruction-quality mode: compare two raw fields.
   const dims3 dims = parse_dims(a.require("--dims"));
   const auto x = data::load_f32_field(a.require("-a"), dims);
   const auto y = data::load_f32_field(a.require("-b"), dims);
