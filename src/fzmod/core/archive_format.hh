@@ -18,9 +18,15 @@
 //      archives (verified *before* the LZ decoder touches the blob). With
 //      verification on — the default; see `verify_enabled` — any payload
 //      corruption surfaces as a deterministic status::corrupt_archive.
+//   v3 ("FZM3" chunk container): an outer chunk directory framing whole
+//      v1/v2 archives as independently decodable chunks of one field —
+//      parallel decompression, decompress_range() random access, and
+//      streaming compression (core/chunked.hh). Single-chunk compressions
+//      bypass the container entirely and stay byte-identical to v2.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <span>
 #include <vector>
@@ -36,8 +42,10 @@ namespace fzmod::core::fmt {
 
 inline constexpr u32 outer_magic = 0x465a4d30;     // "FZM0" (format v1)
 inline constexpr u32 outer_magic_v2 = 0x465a4d32;  // "FZM2"
+inline constexpr u32 chunk_magic_v3 = 0x465a4d33;  // "FZM3" (chunk container)
 inline constexpr u32 inner_magic = 0x465a4d44;     // "FZMD"
-inline constexpr u16 archive_version = 2;          // what we write
+inline constexpr u16 archive_version = 2;          // what we write per chunk
+inline constexpr u16 chunk_container_version = 3;
 
 #pragma pack(push, 1)
 /// v1 outer header (8 bytes). Still accepted on read.
@@ -111,16 +119,22 @@ struct vo_record {
 /// out at startup, and `set_verify_enabled` is the runtime A/B switch
 /// (benches measure the overhead with it, tests exercise both paths).
 /// Structural validation is never switchable — only digest comparisons.
-[[nodiscard]] inline bool& verify_flag() {
-  static bool on = [] {
+/// Atomic: chunk-parallel decoders read this from many streams at once,
+/// possibly while a bench thread toggles it.
+[[nodiscard]] inline std::atomic<bool>& verify_flag() {
+  static std::atomic<bool> on = [] {
     const char* v = std::getenv("FZMOD_VERIFY");
     return !(v && v[0] == '0' && v[1] == '\0');
   }();
   return on;
 }
 
-inline void set_verify_enabled(bool on) { verify_flag() = on; }
-[[nodiscard]] inline bool verify_enabled() { return verify_flag(); }
+inline void set_verify_enabled(bool on) {
+  verify_flag().store(on, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool verify_enabled() {
+  return verify_flag().load(std::memory_order_relaxed);
+}
 
 // --- digests --------------------------------------------------------------
 
@@ -372,6 +386,156 @@ inline std::vector<u8> pack_outliers(
     std::vector<kernels::outlier> outliers) {
   return pack_outliers(std::span<kernels::outlier>(outliers));
 }
+
+// --- v3 chunk container ---------------------------------------------------
+//
+// Layout (docs/FORMAT.md is normative):
+//   container := chunk_header_v3 | chunk archives | directory | u64 dir_digest
+// Chunk archives are whole v1/v2 archives of contiguous sub-extents of the
+// field, concatenated back-to-back in raw order. The directory trails the
+// payload so a streaming compressor can emit chunk archives as they finish
+// (their sizes are unknown up front) and still write strictly in order; its
+// location is computable from the header alone (fixed entry size, nchunks
+// in the header), so readers need no footer.
+
+#pragma pack(push, 1)
+/// Fixed-size container header (56 bytes). Every field is known before the
+/// first chunk is compressed, so a streaming writer emits it immediately.
+struct chunk_header_v3 {
+  u32 magic;        // chunk_magic_v3
+  u16 version;      // chunk_container_version
+  u8 type;          // dtype of the field
+  u8 pad;           // must be zero
+  u64 dims[3];      // full-field extents
+  u64 nchunks;      // >= 2 (single-chunk output bypasses the container)
+  u64 chunk_elems;  // nominal elements per chunk (last chunk may be ragged)
+  u64 digest_header;  // self-digest with this slot zeroed
+};
+
+/// One directory entry (40 bytes). `archive_offset` is relative to the end
+/// of the container header, so entries are independent of header size.
+struct chunk_dir_entry {
+  u64 raw_offset;      // first element of this chunk in the full field
+  u64 raw_len;         // elements in this chunk
+  u64 archive_offset;  // chunk archive start, bytes past chunk_header_v3
+  u64 archive_bytes;   // chunk archive size
+  u64 digest;          // chunked_hash of the chunk archive bytes
+};
+#pragma pack(pop)
+
+static_assert(sizeof(chunk_header_v3) == 56 && sizeof(chunk_dir_entry) == 40,
+              "v3 container layout must stay byte-stable");
+
+[[nodiscard]] inline u64 chunk_header_digest(chunk_header_v3 hdr) {
+  hdr.digest_header = 0;
+  return common::xxhash64(&hdr, sizeof(hdr), 0);
+}
+
+/// Cheap dispatch: does this blob carry the v3 container magic? v1/v2
+/// archives (and garbage) answer false and flow to the plain parsers.
+[[nodiscard]] inline bool is_chunk_container(std::span<const u8> archive) {
+  if (archive.size() < sizeof(u32)) return false;
+  u32 magic;
+  std::memcpy(&magic, archive.data(), sizeof(magic));
+  return magic == chunk_magic_v3;
+}
+
+/// Parsed container: header, directory, and the payload region the
+/// directory's archive offsets index into.
+struct chunk_container_view {
+  chunk_header_v3 hdr{};
+  dims3 dims;
+  std::span<const u8> payload;  // between header and directory
+  std::vector<chunk_dir_entry> entries;
+};
+
+/// Parse + structurally validate a v3 container. The directory must tile
+/// the field contiguously in raw order and the archive extents must tile
+/// the payload contiguously — any gap, overlap, or overrun is corruption.
+/// Digest checks (header self-digest, directory digest) run when
+/// `check_digests` is set (pass `verify_enabled()`; verify_chunked passes
+/// false and reports mismatches instead); per-chunk archive digests are
+/// the decode driver's job so it can report *which* chunk is damaged.
+[[nodiscard]] inline chunk_container_view parse_chunk_container(
+    std::span<const u8> archive, bool check_digests) {
+  FZMOD_REQUIRE(archive.size() >= sizeof(chunk_header_v3),
+                status::corrupt_archive, "chunk container too small");
+  chunk_container_view cv;
+  std::memcpy(&cv.hdr, archive.data(), sizeof(cv.hdr));
+  FZMOD_REQUIRE(cv.hdr.magic == chunk_magic_v3 &&
+                    cv.hdr.version == chunk_container_version,
+                status::corrupt_archive, "bad chunk container header");
+  FZMOD_REQUIRE(cv.hdr.pad == 0, status::corrupt_archive,
+                "chunk container: nonzero padding");
+  if (check_digests) {
+    FZMOD_REQUIRE(chunk_header_digest(cv.hdr) == cv.hdr.digest_header,
+                  status::corrupt_archive,
+                  "chunk container: header digest mismatch");
+  }
+  cv.dims = dims3{cv.hdr.dims[0], cv.hdr.dims[1], cv.hdr.dims[2]};
+  FZMOD_REQUIRE(!cv.dims.len_invalid(), status::corrupt_archive,
+                "chunk container dims out of supported range");
+  const u64 n = cv.dims.len();
+  FZMOD_REQUIRE(cv.hdr.nchunks >= 1 && cv.hdr.nchunks <= n,
+                status::corrupt_archive,
+                "chunk container: implausible chunk count");
+  const u64 dir_bytes = cv.hdr.nchunks * sizeof(chunk_dir_entry);
+  FZMOD_REQUIRE(
+      archive.size() >= sizeof(chunk_header_v3) + dir_bytes + sizeof(u64),
+      status::corrupt_archive, "chunk container: directory truncated");
+  const std::size_t dir_at = archive.size() - sizeof(u64) - dir_bytes;
+  cv.payload = archive.subspan(sizeof(chunk_header_v3),
+                               dir_at - sizeof(chunk_header_v3));
+  const std::span<const u8> dir = archive.subspan(dir_at, dir_bytes);
+  if (check_digests) {
+    u64 dir_digest;
+    std::memcpy(&dir_digest, archive.data() + dir_at + dir_bytes,
+                sizeof(dir_digest));
+    FZMOD_REQUIRE(kernels::chunked_hash(dir) == dir_digest,
+                  status::corrupt_archive,
+                  "chunk container: directory digest mismatch");
+  }
+  cv.entries.resize(cv.hdr.nchunks);
+  std::memcpy(cv.entries.data(), dir.data(), dir_bytes);
+  u64 raw_at = 0, arch_at = 0;
+  for (const chunk_dir_entry& e : cv.entries) {
+    FZMOD_REQUIRE(e.raw_offset == raw_at && e.raw_len >= 1 &&
+                      e.raw_len <= n - raw_at,
+                  status::corrupt_archive,
+                  "chunk container: directory does not tile the field");
+    FZMOD_REQUIRE(e.archive_offset == arch_at &&
+                      e.archive_bytes <= cv.payload.size() - arch_at,
+                  status::corrupt_archive,
+                  "chunk container: directory does not tile the payload");
+    raw_at += e.raw_len;
+    arch_at += e.archive_bytes;
+  }
+  FZMOD_REQUIRE(raw_at == n && arch_at == cv.payload.size(),
+                status::corrupt_archive,
+                "chunk container: directory leaves a tail uncovered");
+  return cv;
+}
+
+[[nodiscard]] inline chunk_container_view parse_chunk_container(
+    std::span<const u8> archive) {
+  return parse_chunk_container(archive, verify_enabled());
+}
+
+/// One chunk's archive bytes within a parsed container.
+[[nodiscard]] inline std::span<const u8> chunk_archive(
+    const chunk_container_view& cv, const chunk_dir_entry& e) {
+  return cv.payload.subspan(e.archive_offset, e.archive_bytes);
+}
+
+/// Per-chunk archive digest check (gated like every digest comparison).
+/// Returns false instead of throwing so callers can name the chunk.
+[[nodiscard]] inline bool chunk_digest_ok(const chunk_container_view& cv,
+                                          const chunk_dir_entry& e) {
+  if (!verify_enabled()) return true;
+  return kernels::chunked_hash(chunk_archive(cv, e)) == e.digest;
+}
+
+// --- varint / outlier unpacking (continued) -------------------------------
 
 /// Unpack a delta-coded outlier list. `index_limit` bounds every decoded
 /// index (pass the field length): a delta that wraps the u64 accumulator

@@ -1,0 +1,446 @@
+// FZModules — chunk-parallel driver implementation. See chunked.hh for the
+// scheduling model and docs/FORMAT.md for the v3 container layout.
+
+#include "fzmod/core/chunked.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "fzmod/kernels/chunked_hash.hh"
+
+namespace fzmod::core {
+
+namespace {
+
+template <class T>
+[[nodiscard]] dtype dtype_of();
+template <>
+dtype dtype_of<f32>() {
+  return dtype::f32;
+}
+template <>
+dtype dtype_of<f64>() {
+  return dtype::f64;
+}
+
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<std::size_t>(x);
+}
+
+void append_bytes(std::vector<u8>& out, const void* p, std::size_t n) {
+  const u8* b = static_cast<const u8*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+/// Decode a set of container chunks across up to `jobs` worker threads,
+/// each with its own stream + pipeline (per-slot scratch, no sharing).
+/// `emit(entry, decoded_device_buffer, stream)` runs on the worker thread
+/// after the chunk decodes; it typically enqueues a D2H copy of some or
+/// all of the chunk. The worker syncs the stream after emit.
+template <class T, class Emit>
+void decode_chunks(const fmt::chunk_container_view& cv,
+                   std::span<const fmt::chunk_dir_entry> entries,
+                   const pipeline_config& cfg, unsigned jobs, Emit emit) {
+  const std::size_t total = entries.size();
+  if (total == 0) return;
+  const unsigned nworkers =
+      static_cast<unsigned>(std::min<std::size_t>(std::max(1u, jobs), total));
+
+  std::atomic<u64> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  auto worker = [&] {
+    // Stream declared last: its dtor drains before the slot's buffers
+    // free, so an exception mid-chunk can't strand a queued copy into a
+    // block the pool has already rebinned.
+    device::buffer<T> dev;
+    pipeline<T> pipe(cfg);
+    device::stream s;
+    for (;;) {
+      const u64 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total || failed.load(std::memory_order_relaxed)) break;
+      const fmt::chunk_dir_entry& e = entries[i];
+      try {
+        FZMOD_REQUIRE(fmt::chunk_digest_ok(cv, e), status::corrupt_archive,
+                      "chunk at element " + std::to_string(e.raw_offset) +
+                          ": archive digest mismatch");
+        dev.ensure(e.raw_len, device::space::device);
+        pipe.decompress(fmt::chunk_archive(cv, e), dev, s);
+        emit(e, dev, s);
+        s.sync();
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!err) err = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nworkers);
+  for (unsigned w = 0; w < nworkers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
+
+std::size_t chunked_options::resolve_chunk_elems(std::size_t elem_size) const {
+  if (chunk_elems) return chunk_elems;
+  std::size_t mb = chunk_mb ? chunk_mb : env_size("FZMOD_CHUNK_MB", 16);
+  if (mb == 0) mb = 16;
+  return std::max<std::size_t>(1, mb * (std::size_t{1} << 20) / elem_size);
+}
+
+unsigned chunked_options::resolve_jobs() const {
+  std::size_t j = jobs ? jobs : env_size("FZMOD_JOBS", 4);
+  if (j == 0) j = 1;
+  return static_cast<unsigned>(std::min<std::size_t>(j, 64));
+}
+
+std::vector<chunk_extent> plan_chunks(dims3 dims, std::size_t chunk_elems) {
+  FZMOD_REQUIRE(!dims.len_invalid(), status::invalid_argument,
+                "plan_chunks: invalid dims");
+  FZMOD_REQUIRE(chunk_elems >= 1, status::invalid_argument,
+                "plan_chunks: chunk_elems must be >= 1");
+  // Slab unit: whole extents of the slowest-varying dimension, so every
+  // chunk is contiguous in memory and a well-formed dims3 field.
+  const int r = dims.rank();
+  u64 slab = 1, nslabs = dims.x;
+  if (r == 3) {
+    slab = static_cast<u64>(dims.x) * dims.y;
+    nslabs = dims.z;
+  } else if (r == 2) {
+    slab = dims.x;
+    nslabs = dims.y;
+  }
+  const u64 per = std::max<u64>(1, chunk_elems / slab);
+  std::vector<chunk_extent> out;
+  out.reserve(static_cast<std::size_t>((nslabs + per - 1) / per));
+  for (u64 s0 = 0; s0 < nslabs; s0 += per) {
+    const u64 sc = std::min(per, nslabs - s0);
+    chunk_extent e;
+    e.offset = s0 * slab;
+    e.len = sc * slab;
+    e.dims = r == 3   ? dims3{dims.x, dims.y, sc}
+             : r == 2 ? dims3{dims.x, sc, 1}
+                      : dims3{sc, 1, 1};
+    out.push_back(e);
+  }
+  return out;
+}
+
+chunked_info inspect_chunked(std::span<const u8> archive) {
+  chunked_info info;
+  if (!fmt::is_chunk_container(archive)) {
+    const archive_info ai = inspect_archive(archive);
+    info.chunked = false;
+    info.dims = ai.dims;
+    info.type = ai.type;
+    info.nchunks = 1;
+    info.chunk_elems = ai.dims.len();
+    return info;
+  }
+  const fmt::chunk_container_view cv = fmt::parse_chunk_container(archive);
+  info.chunked = true;
+  info.dims = cv.dims;
+  FZMOD_REQUIRE(cv.hdr.type <= static_cast<u8>(dtype::f64),
+                status::corrupt_archive, "chunk container: unknown dtype");
+  info.type = static_cast<dtype>(cv.hdr.type);
+  info.nchunks = cv.hdr.nchunks;
+  info.chunk_elems = cv.hdr.chunk_elems;
+  info.chunks = cv.entries;
+  return info;
+}
+
+chunked_verify_report verify_chunked(std::span<const u8> archive) {
+  chunked_verify_report rep;
+  if (!fmt::is_chunk_container(archive)) {
+    chunk_verify_entry e;
+    e.index = 0;
+    e.digest_ok = true;
+    e.inner = verify_archive(archive);
+    rep.chunks.push_back(std::move(e));
+    return rep;
+  }
+  // Structural corruption still throws (same contract as verify_archive);
+  // digest mismatches — container-level and per-chunk — are reported.
+  const fmt::chunk_container_view cv =
+      fmt::parse_chunk_container(archive, /*check_digests=*/false);
+  rep.container_ok =
+      fmt::chunk_header_digest(cv.hdr) == cv.hdr.digest_header;
+  const u64 dir_bytes = cv.hdr.nchunks * sizeof(fmt::chunk_dir_entry);
+  const std::size_t dir_at = archive.size() - sizeof(u64) - dir_bytes;
+  u64 dir_digest = 0;
+  std::memcpy(&dir_digest, archive.data() + dir_at + dir_bytes,
+              sizeof(dir_digest));
+  if (kernels::chunked_hash(archive.subspan(dir_at, dir_bytes)) !=
+      dir_digest) {
+    rep.container_ok = false;
+  }
+  rep.chunks.reserve(cv.entries.size());
+  for (u64 i = 0; i < cv.entries.size(); ++i) {
+    chunk_verify_entry ce;
+    ce.index = i;
+    const std::span<const u8> ab = fmt::chunk_archive(cv, cv.entries[i]);
+    ce.digest_ok = kernels::chunked_hash(ab) == cv.entries[i].digest;
+    ce.inner = verify_archive(ab);
+    rep.chunks.push_back(std::move(ce));
+  }
+  return rep;
+}
+
+template <class T>
+chunked_pipeline<T>::chunked_pipeline(pipeline_config cfg, chunked_options opt)
+    : cfg_(std::move(cfg)), opt_(opt) {
+  // Resolve module names once up front so a bad config throws here, not
+  // on a scheduler worker thread mid-stream.
+  pipeline<T> probe(cfg_);
+  (void)probe;
+}
+
+template <class T>
+std::vector<u8> chunked_pipeline<T>::compress(std::span<const T> data,
+                                              dims3 dims) {
+  FZMOD_REQUIRE(!dims.len_invalid() && data.size() == dims.len(),
+                status::invalid_argument,
+                "chunked compress: data size does not match dims");
+  std::vector<u8> out;
+  compress_stream(
+      [&](T* dst, u64 elem_offset, std::size_t n) {
+        std::memcpy(dst, data.data() + elem_offset, n * sizeof(T));
+      },
+      dims,
+      [&](std::span<const u8> bytes) {
+        out.insert(out.end(), bytes.begin(), bytes.end());
+      });
+  return out;
+}
+
+template <class T>
+void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
+                                          const sink_fn& sink) {
+  FZMOD_REQUIRE(!dims.len_invalid(), status::invalid_argument,
+                "chunked compress: invalid dims");
+  const std::size_t chunk_elems = opt_.resolve_chunk_elems(sizeof(T));
+  const std::vector<chunk_extent> extents = plan_chunks(dims, chunk_elems);
+  const u64 nchunks = extents.size();
+
+  if (nchunks == 1) {
+    // Single-chunk plan: bypass the container so the output is the plain
+    // v2 archive, byte-identical to core::pipeline.
+    std::vector<T> field(dims.len());
+    src(field.data(), 0, field.size());
+    pipeline<T> pipe(cfg_);
+    const std::vector<u8> arch =
+        pipe.compress(std::span<const T>(field), dims);
+    sink(arch);
+    return;
+  }
+
+  fmt::chunk_header_v3 hdr{};
+  hdr.magic = fmt::chunk_magic_v3;
+  hdr.version = fmt::chunk_container_version;
+  hdr.type = static_cast<u8>(dtype_of<T>());
+  hdr.pad = 0;
+  hdr.dims[0] = dims.x;
+  hdr.dims[1] = dims.y;
+  hdr.dims[2] = dims.z;
+  hdr.nchunks = nchunks;
+  hdr.chunk_elems = chunk_elems;
+  hdr.digest_header = fmt::chunk_header_digest(hdr);
+  sink(std::span<const u8>(reinterpret_cast<const u8*>(&hdr), sizeof(hdr)));
+
+  const unsigned nworkers =
+      static_cast<unsigned>(std::min<u64>(opt_.resolve_jobs(), nchunks));
+  // Bounded in-flight window: a slot may only claim chunk c while
+  // c < committed + window, so a slow chunk cannot let the finished-but-
+  // uncommitted backlog (and therefore memory) grow without bound.
+  const u64 window = 2 * static_cast<u64>(nworkers);
+
+  struct shared_state {
+    std::mutex mu;
+    std::condition_variable cv;
+    u64 next = 0;       // next chunk index to claim
+    u64 committed = 0;  // chunks already pushed to the sink, in order
+    u64 arch_at = 0;    // payload bytes emitted so far
+    std::map<u64, std::vector<u8>> done;  // finished, awaiting commit
+    std::vector<fmt::chunk_dir_entry> entries;
+    std::exception_ptr err;
+  } sh;
+  sh.entries.resize(nchunks);
+
+  auto worker = [&] {
+    // Per-slot working set: the chunk pipelines never share scratch. The
+    // stream is declared last so it drains before the slot's buffers
+    // free on an exception path.
+    device::buffer<T> dev;
+    std::vector<T> stage;
+    pipeline<T> pipe(cfg_);
+    device::stream s;
+    for (;;) {
+      u64 c;
+      {
+        std::unique_lock lk(sh.mu);
+        sh.cv.wait(lk, [&] {
+          return sh.err || sh.next >= nchunks ||
+                 sh.next < sh.committed + window;
+        });
+        if (sh.err || sh.next >= nchunks) break;
+        c = sh.next++;
+      }
+      const chunk_extent& e = extents[c];
+      try {
+        stage.resize(e.len);
+        src(stage.data(), e.offset, e.len);
+        dev.ensure(e.len, device::space::device);
+        device::memcpy_async(dev.data(), stage.data(), e.len * sizeof(T),
+                             device::copy_kind::h2d, s);
+        std::vector<u8> arch = pipe.compress(dev, e.dims, s);
+
+        std::unique_lock lk(sh.mu);
+        sh.done.emplace(c, std::move(arch));
+        // Commit every consecutive finished chunk. Holding the lock
+        // through the sink keeps the output strictly ordered; commit work
+        // is small next to per-chunk compression.
+        for (auto it = sh.done.find(sh.committed);
+             it != sh.done.end() && !sh.err;
+             it = sh.done.find(sh.committed)) {
+          const std::vector<u8> bytes = std::move(it->second);
+          sh.done.erase(it);
+          const chunk_extent& ce = extents[sh.committed];
+          fmt::chunk_dir_entry de;
+          de.raw_offset = ce.offset;
+          de.raw_len = ce.len;
+          de.archive_offset = sh.arch_at;
+          de.archive_bytes = bytes.size();
+          de.digest = kernels::chunked_hash(bytes);
+          sh.entries[sh.committed] = de;
+          sh.arch_at += bytes.size();
+          sink(bytes);
+          ++sh.committed;
+        }
+        sh.cv.notify_all();
+      } catch (...) {
+        std::lock_guard lk(sh.mu);
+        if (!sh.err) sh.err = std::current_exception();
+        sh.cv.notify_all();
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nworkers);
+  for (unsigned w = 0; w < nworkers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (sh.err) std::rethrow_exception(sh.err);
+
+  std::vector<u8> dir(nchunks * sizeof(fmt::chunk_dir_entry));
+  std::memcpy(dir.data(), sh.entries.data(), dir.size());
+  sink(dir);
+  const u64 dir_digest = kernels::chunked_hash(dir);
+  std::vector<u8> tail;
+  append_bytes(tail, &dir_digest, sizeof(dir_digest));
+  sink(tail);
+}
+
+template <class T>
+std::vector<T> chunked_pipeline<T>::decompress(std::span<const u8> archive) {
+  if (!fmt::is_chunk_container(archive)) {
+    pipeline<T> pipe(cfg_);
+    return pipe.decompress(archive);
+  }
+  const fmt::chunk_container_view cv = fmt::parse_chunk_container(archive);
+  FZMOD_REQUIRE(cv.hdr.type == static_cast<u8>(dtype_of<T>()),
+                status::invalid_argument,
+                "chunk container holds a different dtype");
+  std::vector<T> out(cv.dims.len());
+  decode_chunks<T>(
+      cv, cv.entries, cfg_, opt_.resolve_jobs(),
+      [&](const fmt::chunk_dir_entry& e, device::buffer<T>& dev,
+          device::stream& s) {
+        device::memcpy_async(out.data() + e.raw_offset, dev.data(),
+                             e.raw_len * sizeof(T), device::copy_kind::d2h,
+                             s);
+      });
+  return out;
+}
+
+template <class T>
+std::vector<T> chunked_pipeline<T>::decompress_range(
+    std::span<const u8> archive, u64 elem_offset, u64 elem_count) {
+  if (!fmt::is_chunk_container(archive)) {
+    pipeline<T> pipe(cfg_);
+    const std::vector<T> full = pipe.decompress(archive);
+    FZMOD_REQUIRE(elem_offset <= full.size() &&
+                      elem_count <= full.size() - elem_offset,
+                  status::invalid_argument,
+                  "decompress_range: range outside the field");
+    return std::vector<T>(full.begin() + elem_offset,
+                          full.begin() + elem_offset + elem_count);
+  }
+  const fmt::chunk_container_view cv = fmt::parse_chunk_container(archive);
+  FZMOD_REQUIRE(cv.hdr.type == static_cast<u8>(dtype_of<T>()),
+                status::invalid_argument,
+                "chunk container holds a different dtype");
+  const u64 n = cv.dims.len();
+  FZMOD_REQUIRE(elem_offset <= n && elem_count <= n - elem_offset,
+                status::invalid_argument,
+                "decompress_range: range outside the field");
+  std::vector<T> out(elem_count);
+  if (elem_count == 0) return out;
+
+  // Entries are sorted by raw_offset (parse enforces contiguous tiling);
+  // the covering chunks are a contiguous directory run.
+  const u64 lo = elem_offset, hi = elem_offset + elem_count;
+  std::size_t first = 0;
+  while (cv.entries[first].raw_offset + cv.entries[first].raw_len <= lo)
+    ++first;
+  std::size_t last = first;
+  while (last < cv.entries.size() && cv.entries[last].raw_offset < hi)
+    ++last;
+  const std::span<const fmt::chunk_dir_entry> covering(
+      cv.entries.data() + first, last - first);
+
+  decode_chunks<T>(
+      cv, covering, cfg_, opt_.resolve_jobs(),
+      [&](const fmt::chunk_dir_entry& e, device::buffer<T>& dev,
+          device::stream& s) {
+        const u64 a = std::max(lo, e.raw_offset);
+        const u64 b = std::min(hi, e.raw_offset + e.raw_len);
+        device::memcpy_async(out.data() + (a - lo),
+                             dev.data() + (a - e.raw_offset),
+                             (b - a) * sizeof(T), device::copy_kind::d2h, s);
+      });
+  return out;
+}
+
+template <class T>
+std::vector<T> decompress_any(std::span<const u8> archive,
+                              const chunked_options& opt) {
+  chunked_pipeline<T> p(pipeline_config{}, opt);
+  return p.decompress(archive);
+}
+
+template class chunked_pipeline<f32>;
+template class chunked_pipeline<f64>;
+template std::vector<f32> decompress_any<f32>(std::span<const u8>,
+                                              const chunked_options&);
+template std::vector<f64> decompress_any<f64>(std::span<const u8>,
+                                              const chunked_options&);
+
+}  // namespace fzmod::core

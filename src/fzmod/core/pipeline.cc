@@ -120,9 +120,26 @@ pipeline<T>::pipeline(pipeline_config cfg) : cfg_(std::move(cfg)) {
 template <class T>
 pipeline<T>::~pipeline() = default;
 
+namespace {
+/// RAII over the pipeline's busy flag: entering a compress/decompress call
+/// while another is in flight on the same object would corrupt the shared
+/// member scratch, so it throws instead.
+struct busy_scope {
+  std::atomic<bool>& flag;
+  explicit busy_scope(detail::busy_flag& f) : flag(f.v) {
+    FZMOD_REQUIRE(!flag.exchange(true, std::memory_order_acquire),
+                  status::invalid_argument,
+                  "pipeline: concurrent call on one pipeline object — use "
+                  "one pipeline per thread");
+  }
+  ~busy_scope() { flag.store(false, std::memory_order_release); }
+};
+}  // namespace
+
 template <class T>
 std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
                                       dims3 dims, device::stream& s) {
+  const busy_scope in_call(busy_);
   FZMOD_REQUIRE(data.size() == dims.len(), status::invalid_argument,
                 "pipeline: data size does not match dims");
   stopwatch sw;
@@ -266,8 +283,11 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
 template <class T>
 std::vector<u8> pipeline<T>::compress(std::span<const T> host_data,
                                       dims3 dims) {
-  device::stream s;
+  // The stream is declared after the buffer so it drains (dtor syncs)
+  // before the buffer can return its block to the pool — if compress
+  // throws past a queued copy, the copy must not land in freed memory.
   device::buffer<T> dev(host_data.size(), device::space::device);
+  device::stream s;
   device::memcpy_async(dev.data(), host_data.data(), host_data.size_bytes(),
                        device::copy_kind::h2d, s);
   return compress(dev, dims, s);
@@ -276,6 +296,7 @@ std::vector<u8> pipeline<T>::compress(std::span<const T> host_data,
 template <class T>
 void pipeline<T>::decompress(std::span<const u8> archive,
                              device::buffer<T>& out, device::stream& s) {
+  const busy_scope in_call(busy_);
   stopwatch sw;
   const fmt::outer_view ov = fmt::parse_outer(archive);
   fmt::verify_outer(ov);  // whole-body digest, before LZ parses the blob
@@ -370,8 +391,8 @@ std::vector<T> pipeline<T>::decompress(std::span<const u8> archive) {
   // so a corrupted blob is rejected before any parser touches it.
   fmt::verify_outer(fmt::parse_outer(archive));
   const archive_info info = inspect_archive(archive);
-  device::stream s;
   device::buffer<T> dev(info.dims.len(), device::space::device);
+  device::stream s;  // declared after dev: drains before dev frees
   decompress(archive, dev, s);
   std::vector<T> host(info.dims.len());
   device::memcpy_async(host.data(), dev.data(), dev.bytes(),

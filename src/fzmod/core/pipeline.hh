@@ -6,6 +6,7 @@
 // any process that has the named modules registered can decompress it.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,18 @@
 #include "fzmod/core/registry.hh"
 
 namespace fzmod::core {
+
+namespace detail {
+/// Movable atomic flag for the pipeline's concurrent-use guard. Moving a
+/// pipeline cannot race an in-flight call on it (that would be UB anyway),
+/// so the flag simply resets on move.
+struct busy_flag {
+  std::atomic<bool> v{false};
+  busy_flag() = default;
+  busy_flag(busy_flag&&) noexcept {}
+  busy_flag& operator=(busy_flag&&) noexcept { return *this; }
+};
+}  // namespace detail
 
 /// Per-stage wall-clock timings of the last compress()/decompress() call,
 /// in seconds. Benches read these to attribute time (Fig. 1 ablations).
@@ -121,7 +134,11 @@ class pipeline {
   // together with the runtime's caching pools — is the zero-steady-state-
   // allocation contract documented in docs/RUNTIME.md. A pipeline object
   // is not thread-safe across concurrent calls (it never was: stage
-  // timings are members); use one pipeline per serving thread.
+  // timings are members); use one pipeline per serving thread. `busy_`
+  // turns accidental sharing — silent scratch corruption — into an
+  // immediate invalid_argument (the chunked scheduler relies on this
+  // one-pipeline-per-slot rule).
+  detail::busy_flag busy_;
   device::buffer<T> transformed_scratch_;
   predictors::quant_field compress_field_;
   predictors::interp_anchors compress_anchors_;

@@ -39,8 +39,13 @@ void snapshot_writer::add(std::string_view name, std::span<const f32> data,
     FZMOD_REQUIRE(e.name != name, status::invalid_argument,
                   "snapshot: duplicate field name: " + std::string(name));
   }
-  pipeline<f32> pipe(override.value_or(defaults_));
-  archives_.push_back(pipe.compress(data, dims));
+  if (chunking_) {
+    chunked_pipeline<f32> pipe(override.value_or(defaults_), *chunking_);
+    archives_.push_back(pipe.compress(data, dims));
+  } else {
+    pipeline<f32> pipe(override.value_or(defaults_));
+    archives_.push_back(pipe.compress(data, dims));
+  }
   snapshot_entry e;
   e.name = std::string(name);
   e.dims = dims;
@@ -139,17 +144,44 @@ std::span<const u8> snapshot_reader::archive(std::string_view name) const {
 }
 
 std::vector<f32> snapshot_reader::read(std::string_view name) const {
-  pipeline<f32> pipe(pipeline_config{});
-  return pipe.decompress(archive(name));
+  // Version-agnostic: plain v1/v2 archives and v3 chunk containers (the
+  // latter decode chunk-parallel) both come back as the full field.
+  return decompress_any<f32>(archive(name));
 }
 
+namespace {
+
+/// Collapse a chunked report into the flat per-section shape: each flag is
+/// the AND over the corresponding flag of every chunk, and container-level
+/// digests fold into header_ok. `.ok()` is preserved exactly.
+archive_verify_report collapse(const chunked_verify_report& rep) {
+  archive_verify_report out;
+  out.version = fmt::chunk_container_version;
+  out.header_ok = rep.container_ok;
+  for (const auto& c : rep.chunks) {
+    out.secondary = out.secondary || c.inner.secondary;
+    out.body_ok = out.body_ok && c.digest_ok && c.inner.body_ok;
+    out.header_ok = out.header_ok && c.inner.header_ok;
+    out.codec_ok = out.codec_ok && c.inner.codec_ok;
+    out.outliers_ok = out.outliers_ok && c.inner.outliers_ok;
+    out.value_outliers_ok =
+        out.value_outliers_ok && c.inner.value_outliers_ok;
+    out.anchors_ok = out.anchors_ok && c.inner.anchors_ok;
+  }
+  return out;
+}
+
+}  // namespace
+
 archive_verify_report snapshot_reader::verify(std::string_view name) const {
-  return verify_archive(archive(name));
+  const std::span<const u8> ab = archive(name);
+  if (!fmt::is_chunk_container(ab)) return verify_archive(ab);
+  return collapse(verify_chunked(ab));
 }
 
 bool snapshot_reader::verify_all() const {
   return std::all_of(entries_.begin(), entries_.end(), [&](const auto& e) {
-    return verify_archive(blob_.subspan(e.offset, e.bytes)).ok();
+    return verify_chunked(blob_.subspan(e.offset, e.bytes)).ok();
   });
 }
 

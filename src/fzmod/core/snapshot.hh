@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fzmod/core/chunked.hh"
 #include "fzmod/core/pipeline.hh"
 
 namespace fzmod::core {
@@ -40,6 +41,12 @@ class snapshot_writer {
   void add(std::string_view name, std::span<const f32> data, dims3 dims,
            std::optional<pipeline_config> override = std::nullopt);
 
+  /// Opt in to chunk-parallel compression for subsequently added fields:
+  /// fields spanning more than one chunk are stored as v3 chunk
+  /// containers (read()/verify() handle both forms transparently);
+  /// single-chunk fields stay plain v2 archives.
+  void set_chunking(chunked_options opt) { chunking_ = opt; }
+
   [[nodiscard]] std::size_t field_count() const { return entries_.size(); }
 
   /// Serialize TOC + archives. The writer can keep adding afterwards
@@ -48,6 +55,7 @@ class snapshot_writer {
 
  private:
   pipeline_config defaults_;
+  std::optional<chunked_options> chunking_;
   std::vector<snapshot_entry> entries_;
   std::vector<std::vector<u8>> archives_;
 };

@@ -61,6 +61,7 @@ template <class T>
 struct node : node_base {
   explicit node(std::size_t n_) : n(n_) {}
   std::size_t n;
+  std::mutex inst_mu;
   device::buffer<T> host_inst;
   device::buffer<T> dev_inst;
   bool valid_host = false;
@@ -68,8 +69,13 @@ struct node : node_base {
 
   /// Make the instance in `p` usable for access mode `m`, copying from the
   /// other space when the task reads and the target instance is stale.
-  /// Runs inside the task (ordered by the DAG), so no locking is needed.
+  /// Writers are ordered by the DAG, but two *readers* of one datum run
+  /// concurrently and may both fault-in an instance here, so the coherence
+  /// transition (allocate / copy / validity flip) takes the node lock. The
+  /// returned reference is safe to use unlocked: concurrent tasks can only
+  /// share it read-only.
   device::buffer<T>& prepare(access m, place p) {
+    std::lock_guard lk(inst_mu);
     auto& inst = p == place::host ? host_inst : dev_inst;
     bool& valid = p == place::host ? valid_host : valid_dev;
     bool& other_valid = p == place::host ? valid_dev : valid_host;

@@ -5,7 +5,9 @@
 //                    [--preset default|speed|quality]
 //                    [--predictor NAME] [--codec NAME] [--secondary]
 //                    [--auto balanced|throughput|ratio|quality]
-//   fzmod decompress -i field.fzmod -o field.f32
+//                    [--chunk-mb N] [--jobs N]   (chunk-parallel, v3)
+//   fzmod decompress -i field.fzmod -o field.f32 [--jobs N]
+//                    [--range OFF,N]             (random access, v3)
 //   fzmod inspect    -i field.fzmod
 //   fzmod gen        --dataset cesm|hacc|hurr|nyx [--field N] -o out.f32
 //   fzmod verify     -i field.fzmod               (archive integrity)
@@ -15,6 +17,7 @@
 // Input fields are headerless little-endian f32 (the SDRBench layout);
 // dims are x,y,z with x fastest-varying.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -22,6 +25,7 @@
 
 #include "fzmod/common/timer.hh"
 #include "fzmod/core/autotune.hh"
+#include "fzmod/core/chunked.hh"
 #include "fzmod/core/pipeline.hh"
 #include "fzmod/data/datasets.hh"
 #include "fzmod/data/io.hh"
@@ -41,7 +45,10 @@ using namespace fzmod;
                " [--predictor P] [--codec C] [--secondary]\n"
                "                   [--auto balanced|throughput|ratio|"
                "quality]\n"
-               "  fzmod decompress -i IN.fzmod -o OUT.f32\n"
+               "                   [--chunk-mb N] [--jobs N]  (chunk-parallel"
+               " v3 container)\n"
+               "  fzmod decompress -i IN.fzmod -o OUT.f32 [--jobs N]"
+               " [--range OFF,N]\n"
                "  fzmod inspect    -i IN.fzmod\n"
                "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
                " [--field N] -o OUT.f32\n"
@@ -137,13 +144,36 @@ core::pipeline_config build_config(const args& a, std::span<const f32> data,
   return cfg;
 }
 
+core::chunked_options chunk_opts(const args& a) {
+  core::chunked_options opt;
+  if (a.has("--chunk-mb")) {
+    opt.chunk_mb = static_cast<std::size_t>(
+        std::strtoull(a.get("--chunk-mb").c_str(), nullptr, 10));
+    if (opt.chunk_mb == 0) usage("bad --chunk-mb: must be >= 1");
+  }
+  if (a.has("--jobs")) {
+    opt.jobs = static_cast<unsigned>(
+        std::strtoul(a.get("--jobs").c_str(), nullptr, 10));
+    if (opt.jobs == 0) usage("bad --jobs: must be >= 1");
+  }
+  return opt;
+}
+
 int cmd_compress(const args& a) {
   const dims3 dims = parse_dims(a.require("--dims"));
   const auto field = data::load_f32_field(a.require("-i"), dims);
   const auto cfg = build_config(a, field, dims);
-  core::pipeline<f32> pipe(cfg);
   stopwatch sw;
-  const auto archive = pipe.compress(field, dims);
+  std::vector<u8> archive;
+  if (a.has("--chunk-mb") || a.has("--jobs")) {
+    // Chunk-parallel path: multi-chunk plans emit the v3 container;
+    // a field that fits one chunk stays a plain v2 archive.
+    core::chunked_pipeline<f32> pipe(cfg, chunk_opts(a));
+    archive = pipe.compress(field, dims);
+  } else {
+    core::pipeline<f32> pipe(cfg);
+    archive = pipe.compress(field, dims);
+  }
   const f64 t = sw.seconds();
   data::write_file(a.require("-o"), archive);
   std::printf("%zu -> %zu bytes (%.2fx) in %.0f ms (%.3f GB/s)\n",
@@ -155,9 +185,20 @@ int cmd_compress(const args& a) {
 
 int cmd_decompress(const args& a) {
   const auto archive = data::read_file(a.require("-i"));
-  core::pipeline<f32> pipe(core::pipeline_config{});
+  core::chunked_pipeline<f32> pipe(core::pipeline_config{}, chunk_opts(a));
   stopwatch sw;
-  const auto field = pipe.decompress(archive);
+  std::vector<f32> field;
+  if (a.has("--range")) {
+    u64 off = 0, cnt = 0;
+    if (std::sscanf(a.get("--range").c_str(), "%llu,%llu",
+                    reinterpret_cast<unsigned long long*>(&off),
+                    reinterpret_cast<unsigned long long*>(&cnt)) != 2) {
+      usage(("bad --range: " + a.get("--range")).c_str());
+    }
+    field = pipe.decompress_range(archive, off, cnt);
+  } else {
+    field = pipe.decompress(archive);
+  }
   const f64 t = sw.seconds();
   data::store_f32_field(a.require("-o"), field);
   std::printf("%zu -> %zu bytes in %.0f ms (%.3f GB/s)\n", archive.size(),
@@ -168,6 +209,27 @@ int cmd_decompress(const args& a) {
 
 int cmd_inspect(const args& a) {
   const auto archive = data::read_file(a.require("-i"));
+  if (core::fmt::is_chunk_container(archive)) {
+    const auto ci = core::inspect_chunked(archive);
+    std::printf("format        : v3 (chunk container)\n");
+    std::printf("dims          : %zu x %zu x %zu (%zu values)\n", ci.dims.x,
+                ci.dims.y, ci.dims.z, ci.dims.len());
+    std::printf("dtype         : %s\n", to_string(ci.type));
+    std::printf("chunks        : %llu (nominal %llu elems/chunk)\n",
+                static_cast<unsigned long long>(ci.nchunks),
+                static_cast<unsigned long long>(ci.chunk_elems));
+    std::printf("container     : %zu bytes (%.3f bits/value)\n",
+                archive.size(),
+                metrics::bit_rate(archive.size(), ci.dims.len()));
+    for (std::size_t k = 0; k < ci.chunks.size(); ++k) {
+      const auto& e = ci.chunks[k];
+      std::printf("  chunk %-4zu  : elems [%llu, %llu) -> %llu bytes\n", k,
+                  static_cast<unsigned long long>(e.raw_offset),
+                  static_cast<unsigned long long>(e.raw_offset + e.raw_len),
+                  static_cast<unsigned long long>(e.archive_bytes));
+    }
+    return 0;
+  }
   const auto info = core::inspect_archive(archive);
   std::printf("format        : v%u%s\n", static_cast<unsigned>(info.version),
               info.version >= 2 ? " (checksummed)" : "");
@@ -211,6 +273,21 @@ int cmd_verify(const args& a) {
   // Archive-integrity mode: check the digests an archive carries.
   if (a.has("-i")) {
     const auto archive = data::read_file(a.require("-i"));
+    if (core::fmt::is_chunk_container(archive)) {
+      const auto rep = core::verify_chunked(archive);
+      std::printf("format version : v3 (chunk container)\n");
+      std::printf("%-14s : %s\n", "container",
+                  rep.container_ok ? "ok" : "DIGEST MISMATCH");
+      for (const auto& c : rep.chunks) {
+        std::printf("chunk %-8llu : %s\n",
+                    static_cast<unsigned long long>(c.index),
+                    c.ok() ? "ok"
+                           : (c.digest_ok ? "INNER DIGEST MISMATCH"
+                                          : "ARCHIVE DIGEST MISMATCH"));
+      }
+      std::printf("archive        : %s\n", rep.ok() ? "OK" : "CORRUPT");
+      return rep.ok() ? 0 : 1;
+    }
     const auto rep = core::verify_archive(archive);
     std::printf("format version : v%u\n", static_cast<unsigned>(rep.version));
     if (rep.version < 2) {
