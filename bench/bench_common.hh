@@ -20,6 +20,7 @@
 #include "fzmod/common/timer.hh"
 #include "fzmod/data/datasets.hh"
 #include "fzmod/metrics/metrics.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::bench {
 
@@ -69,6 +70,41 @@ inline void json_append(const std::string& label, const run_result& r) {
       bench_json_name(), label.c_str(), r.cr, r.comp_gbps, r.decomp_gbps,
       r.bit_rate, r.err.psnr, r.err.max_abs_err,
       static_cast<unsigned long long>(r.archive_bytes));
+  std::fflush(f);
+}
+
+/// Emit the recorded trace rollup as a `"trace"` section JSON line (one
+/// object; see docs/OBSERVABILITY.md). No-op unless FZMOD_BENCH_JSON is
+/// set AND tracing captured events — benches call this unconditionally
+/// after their measured region and it stays silent in normal runs.
+inline void json_append_trace(const std::string& label) {
+  std::FILE* f = bench_json_stream();
+  if (!f) return;
+  const trace::summary s = trace::compute_summary();
+  if (s.events == 0) return;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"label\":\"%s\",\"trace\":{"
+               "\"events\":%llu,\"dropped\":%llu,\"wall_s\":%.6g,"
+               "\"stream_busy_s\":%.6g,\"stream_overlap_pct\":%.4g,"
+               "\"h2d_bytes\":%llu,\"d2h_bytes\":%llu,"
+               "\"pool_hit_rate\":%.4g,\"pool_misses\":%llu,"
+               "\"max_inflight\":%.4g,\"mean_inflight\":%.4g,\"stages\":[",
+               bench_json_name(), label.c_str(),
+               static_cast<unsigned long long>(s.events),
+               static_cast<unsigned long long>(s.dropped), s.wall_s,
+               s.stream_busy_s, s.stream_overlap_pct,
+               static_cast<unsigned long long>(s.h2d_bytes),
+               static_cast<unsigned long long>(s.d2h_bytes),
+               s.pool_hit_rate,
+               static_cast<unsigned long long>(s.pool_misses),
+               s.max_inflight, s.mean_inflight);
+  for (std::size_t i = 0; i < s.stages.size(); ++i) {
+    std::fprintf(f, "%s{\"name\":\"%s\",\"count\":%llu,\"total_s\":%.6g}",
+                 i ? "," : "", s.stages[i].name.c_str(),
+                 static_cast<unsigned long long>(s.stages[i].count),
+                 s.stages[i].total_s);
+  }
+  std::fprintf(f, "]}}\n");
   std::fflush(f);
 }
 

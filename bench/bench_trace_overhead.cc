@@ -1,0 +1,138 @@
+// Trace-subsystem overhead audit. The recorder is compiled in
+// unconditionally (no build-flag variants to keep binary counts down), so
+// its disabled-mode cost — one relaxed atomic load + branch per
+// instrumentation site — must be demonstrably negligible. This bench
+// produces that evidence (committed as bench_trace_evidence.json):
+//
+//   1. micro: nanoseconds per *disabled* record call, measured over a
+//      tight loop of trace::instant with tracing off;
+//   2. end-to-end A/B: the bench_fig1_throughput workload (fzmod pipeline
+//      compress + decompress over a dataset field) timed with tracing
+//      disabled vs enabled;
+//   3. disabled-overhead estimate: (events recorded when enabled) x
+//      (ns per disabled call) / (disabled-mode run time) — the cost the
+//      disabled branches add to an uninstrumented build, bounded from
+//      above because every event corresponds to >= 1 site visit.
+//
+// Environment knobs (on top of bench_common's):
+//   FZMOD_BENCH_CHECK=1  exit nonzero if the estimated disabled-mode
+//                        overhead is >= 1% or a disabled call costs
+//                        > 50 ns (regression gates for CI)
+#include "bench_common.hh"
+#include "fzmod/core/pipeline.hh"
+#include "fzmod/trace/trace.hh"
+
+namespace {
+
+using namespace fzmod;
+
+// Nanoseconds per disabled trace call, averaged over `iters` calls.
+f64 disabled_ns_per_call(std::size_t iters) {
+  trace::set_enabled(false);
+  stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) {
+    trace::instant("bench", "disabled-probe");
+  }
+  return sw.seconds() * 1e9 / static_cast<f64>(iters);
+}
+
+struct ab_result {
+  f64 best_s = 1e300;  // best-of-reps compress+decompress wall time
+  u64 events = 0;      // events recorded in the last rep (enabled only)
+};
+
+ab_result run_workload(core::pipeline<f32>& pipe, std::span<const f32> data,
+                       dims3 dims, int reps, bool traced) {
+  ab_result r;
+  trace::set_enabled(traced);
+  for (int rep = 0; rep < reps; ++rep) {
+    trace::clear();
+    stopwatch sw;
+    const std::vector<u8> archive = pipe.compress(data, dims);
+    const std::vector<f32> rec = pipe.decompress(archive);
+    r.best_s = std::min(r.best_s, sw.seconds());
+    if (rec.size() != data.size()) std::abort();
+  }
+  r.events = trace::event_count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fzmod;
+  bench::bench_json_name() = "trace_overhead";
+  bench::print_header(
+      "trace subsystem overhead (disabled fast path + enabled A/B)");
+
+  const f64 ns_call = disabled_ns_per_call(10'000'000);
+  std::printf("disabled record call        : %7.2f ns\n", ns_call);
+
+  const auto ds = data::describe(data::dataset_id::hurr,
+                                 data::fullscale_requested());
+  const auto field = data::generate(ds, 0);
+  const eb_config eb{1e-4, eb_mode::rel};
+  core::pipeline<f32> pipe(core::pipeline_config::preset_default(eb));
+  const int reps = std::max(3, bench::timing_reps());
+
+  // Warm-up (pools, scratch) outside both measured regions.
+  trace::set_enabled(false);
+  (void)pipe.decompress(pipe.compress(field, ds.dims));
+
+  const ab_result off = run_workload(pipe, field, ds.dims, reps, false);
+  const ab_result on = run_workload(pipe, field, ds.dims, reps, true);
+  bench::json_append_trace("fig1-workload");  // events from the last run
+  trace::set_enabled(false);
+
+  const f64 bytes = static_cast<f64>(field.size() * sizeof(f32));
+  std::printf("tracing off                 : %7.2f ms  (%.3f GB/s)\n",
+              1e3 * off.best_s, bytes / off.best_s / 1e9);
+  std::printf("tracing on                  : %7.2f ms  (%.3f GB/s), "
+              "%llu events\n",
+              1e3 * on.best_s, bytes / on.best_s / 1e9,
+              static_cast<unsigned long long>(on.events));
+  const f64 enabled_pct = 100.0 * (on.best_s - off.best_s) / off.best_s;
+  std::printf("enabled-mode delta          : %+7.2f %%\n", enabled_pct);
+
+  // Upper bound on what the disabled branches cost an end-to-end run:
+  // every recorded event is one site visit paying the fast-path branch.
+  const f64 disabled_pct = 100.0 * static_cast<f64>(on.events) * ns_call /
+                           (off.best_s * 1e9);
+  std::printf("disabled-mode overhead      : %9.4f %%  "
+              "(%llu sites x %.2f ns / %.2f ms)\n",
+              disabled_pct, static_cast<unsigned long long>(on.events),
+              ns_call, 1e3 * off.best_s);
+
+  if (std::FILE* f = bench::bench_json_stream()) {
+    std::fprintf(f,
+                 "{\"bench\":\"trace_overhead\",\"label\":\"summary\","
+                 "\"disabled_ns_per_call\":%.4g,\"off_s\":%.6g,"
+                 "\"on_s\":%.6g,\"events\":%llu,"
+                 "\"enabled_delta_pct\":%.4g,"
+                 "\"disabled_overhead_pct\":%.6g}\n",
+                 ns_call, off.best_s, on.best_s,
+                 static_cast<unsigned long long>(on.events), enabled_pct,
+                 disabled_pct);
+    std::fflush(f);
+  }
+
+  if (bench::env_int("FZMOD_BENCH_CHECK", 0)) {
+    if (disabled_pct >= 1.0) {
+      std::fprintf(stderr,
+                   "FZMOD_BENCH_CHECK: disabled-mode overhead %.4f%% "
+                   ">= 1%%\n",
+                   disabled_pct);
+      return 1;
+    }
+    if (ns_call > 50.0) {
+      std::fprintf(stderr,
+                   "FZMOD_BENCH_CHECK: disabled call %.2f ns > 50 ns\n",
+                   ns_call);
+      return 1;
+    }
+    std::printf("FZMOD_BENCH_CHECK: disabled overhead %.4f%% < 1%%, "
+                "%.2f ns/call <= 50 ns — ok\n",
+                disabled_pct, ns_call);
+  }
+  return 0;
+}

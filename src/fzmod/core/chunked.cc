@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "fzmod/kernels/chunked_hash.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::core {
 
@@ -55,8 +56,10 @@ void decode_chunks(const fmt::chunk_container_view& cv,
   if (total == 0) return;
   const unsigned nworkers =
       static_cast<unsigned>(std::min<std::size_t>(std::max(1u, jobs), total));
+  trace::counter("chunked.slots", static_cast<f64>(nworkers));
 
   std::atomic<u64> next{0};
+  std::atomic<int> active{0};
   std::atomic<bool> failed{false};
   std::mutex err_mu;
   std::exception_ptr err;
@@ -72,6 +75,12 @@ void decode_chunks(const fmt::chunk_container_view& cv,
       const u64 i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total || failed.load(std::memory_order_relaxed)) break;
       const fmt::chunk_dir_entry& e = entries[i];
+      const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
+      if (t0) {
+        trace::counter("chunked.inflight",
+                       static_cast<f64>(1 + active.fetch_add(
+                                                1, std::memory_order_relaxed)));
+      }
       try {
         FZMOD_REQUIRE(fmt::chunk_digest_ok(cv, e), status::corrupt_archive,
                       "chunk at element " + std::to_string(e.raw_offset) +
@@ -80,7 +89,18 @@ void decode_chunks(const fmt::chunk_container_view& cv,
         pipe.decompress(fmt::chunk_archive(cv, e), dev, s);
         emit(e, dev, s);
         s.sync();
+        if (t0) {
+          trace::complete("chunked", "dechunk#" + std::to_string(i), t0,
+                          trace::now_ns() - t0, 0,
+                          static_cast<f64>(e.raw_len));
+          trace::counter(
+              "chunked.inflight",
+              static_cast<f64>(active.fetch_sub(
+                                   1, std::memory_order_relaxed) -
+                               1));
+        }
       } catch (...) {
+        if (t0) active.fetch_sub(1, std::memory_order_relaxed);
         std::lock_guard lk(err_mu);
         if (!err) err = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
@@ -266,6 +286,7 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
 
   const unsigned nworkers =
       static_cast<unsigned>(std::min<u64>(opt_.resolve_jobs(), nchunks));
+  trace::counter("chunked.slots", static_cast<f64>(nworkers));
   // Bounded in-flight window: a slot may only claim chunk c while
   // c < committed + window, so a slow chunk cannot let the finished-but-
   // uncommitted backlog (and therefore memory) grow without bound.
@@ -293,6 +314,7 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
     device::stream s;
     for (;;) {
       u64 c;
+      u64 inflight = 0;
       {
         std::unique_lock lk(sh.mu);
         sh.cv.wait(lk, [&] {
@@ -301,7 +323,10 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
         });
         if (sh.err || sh.next >= nchunks) break;
         c = sh.next++;
+        inflight = sh.next - sh.committed;  // claimed-but-uncommitted
       }
+      const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
+      if (t0) trace::counter("chunked.inflight", static_cast<f64>(inflight));
       const chunk_extent& e = extents[c];
       try {
         stage.resize(e.len);
@@ -310,6 +335,10 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
         device::memcpy_async(dev.data(), stage.data(), e.len * sizeof(T),
                              device::copy_kind::h2d, s);
         std::vector<u8> arch = pipe.compress(dev, e.dims, s);
+        if (t0) {
+          trace::complete("chunked", "chunk#" + std::to_string(c), t0,
+                          trace::now_ns() - t0, 0, static_cast<f64>(e.len));
+        }
 
         std::unique_lock lk(sh.mu);
         sh.done.emplace(c, std::move(arch));
@@ -331,7 +360,13 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
           sh.entries[sh.committed] = de;
           sh.arch_at += bytes.size();
           sink(bytes);
+          trace::instant("chunked", "commit", 0,
+                         static_cast<f64>(sh.committed));
           ++sh.committed;
+        }
+        if (t0) {
+          trace::counter("chunked.inflight",
+                         static_cast<f64>(sh.next - sh.committed));
         }
         sh.cv.notify_all();
       } catch (...) {

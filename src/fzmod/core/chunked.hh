@@ -30,6 +30,11 @@
 // When the plan yields a single chunk the container is bypassed entirely
 // and the output is the standard v2 archive, byte-identical to
 // `core::pipeline` — existing readers and tests see no difference.
+//
+// Under FZMOD_TRACE=1 the scheduler emits per-chunk "chunk#N"/"dechunk#N"
+// spans, commit instants, and "chunked.inflight" window-occupancy counter
+// samples (docs/OBSERVABILITY.md) — the trace summary's occupancy line is
+// how the bounded window is observed in practice.
 #pragma once
 
 #include <functional>

@@ -4,10 +4,23 @@
 
 #include "fzmod/common/timer.hh"
 #include "fzmod/core/archive_format.hh"
+#include "fzmod/device/runtime.hh"
 #include "fzmod/lossless/lz.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::core {
 namespace {
+
+/// Record a "pipeline"-category span for a stage whose duration the stage
+/// stopwatch just measured: the span ends now and extends `secs` back.
+/// Repeated segments of one stage (e.g. the split verify work) emit
+/// multiple spans under the same name; the trace summary aggregates them.
+void trace_stage(std::string_view name, f64 secs) {
+  if (!trace::enabled()) return;
+  const u64 end = trace::now_ns();
+  const u64 dur = static_cast<u64>(secs * 1e9);
+  trace::complete("pipeline", name, end - dur, dur);
+}
 
 using fmt::archive_version;
 using fmt::inner_header;
@@ -142,6 +155,7 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   const busy_scope in_call(busy_);
   FZMOD_REQUIRE(data.size() == dims.len(), status::invalid_argument,
                 "pipeline: data size does not match dims");
+  FZMOD_TRACE_SPAN("pipeline", "compress");
   stopwatch sw;
 
   // Stage 1: preprocess — optional value transform, then bound
@@ -157,6 +171,7 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   }
   const f64 ebx2 = preprocessor_->resolve_ebx2(*src, cfg_.eb, s);
   compress_timings_.preprocess = sw.seconds();
+  trace_stage("preprocess", compress_timings_.preprocess);
 
   // Stage 2: predict + quantize.
   sw.reset();
@@ -165,12 +180,14 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   predictor_->compress(*src, dims, ebx2, cfg_.radius, field, anchors, s);
   s.sync();
   compress_timings_.predict = sw.seconds();
+  trace_stage("predict", compress_timings_.predict);
 
   // Stage 3: primary lossless codec.
   sw.reset();
   std::vector<u8> codec_blob =
       codec_->encode(field.codes, cfg_.radius, cfg_, s);
   compress_timings_.encode = sw.seconds();
+  trace_stage("encode", compress_timings_.encode);
 
   // Serialize: header | codec blob | outliers | value outliers | anchors.
   inner_header hdr{};
@@ -249,6 +266,7 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   }
   std::memcpy(inner.data(), &hdr, sizeof(hdr));
   compress_timings_.verify = sw.seconds();
+  trace_stage("verify", compress_timings_.verify);
 
   // Stage 4: optional secondary lossless encoder over the whole body. The
   // outer header seals a whole-body digest over the stored LZ blob so the
@@ -265,18 +283,22 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
     sw.reset();
     outer.body_digest = fmt::seal_digest(kernels::chunked_hash(packed), 1);
     compress_timings_.verify += sw.seconds();
+    trace_stage("verify", sw.seconds());
     sw.reset();
     archive.resize(sizeof(outer) + packed.size());
     std::memcpy(archive.data(), &outer, sizeof(outer));
     std::memcpy(archive.data() + sizeof(outer), packed.data(),
                 packed.size());
     compress_timings_.secondary = lz_s + sw.seconds();
+    trace_stage("secondary", compress_timings_.secondary);
   } else {
     archive.resize(sizeof(outer) + inner.size());
     std::memcpy(archive.data(), &outer, sizeof(outer));
     std::memcpy(archive.data() + sizeof(outer), inner.data(), inner.size());
     compress_timings_.secondary = sw.seconds();
+    trace_stage("secondary", compress_timings_.secondary);
   }
+  device::sample_trace_counters();
   return archive;
 }
 
@@ -297,10 +319,12 @@ template <class T>
 void pipeline<T>::decompress(std::span<const u8> archive,
                              device::buffer<T>& out, device::stream& s) {
   const busy_scope in_call(busy_);
+  FZMOD_TRACE_SPAN("pipeline", "decompress");
   stopwatch sw;
   const fmt::outer_view ov = fmt::parse_outer(archive);
   fmt::verify_outer(ov);  // whole-body digest, before LZ parses the blob
   decompress_timings_.verify = sw.seconds();
+  trace_stage("verify", decompress_timings_.verify);
   sw.reset();
   std::vector<u8> body_storage;
   std::span<const u8> body = ov.stored_body;
@@ -309,11 +333,13 @@ void pipeline<T>::decompress(std::span<const u8> archive,
     body = body_storage;
   }
   decompress_timings_.secondary = sw.seconds();
+  trace_stage("secondary", decompress_timings_.secondary);
 
   sw.reset();
   const inner_header hdr = fmt::parse_inner(body);
   fmt::verify_inner_header(hdr);
   decompress_timings_.verify += sw.seconds();
+  trace_stage("verify", sw.seconds());
   FZMOD_REQUIRE(hdr.type == static_cast<u8>(dtype_of<T>()),
                 status::invalid_argument,
                 "archive dtype does not match pipeline element type");
@@ -325,6 +351,7 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   sw.reset();
   fmt::verify_sections(hdr, sections);  // before any section is decoded
   decompress_timings_.verify += sw.seconds();
+  trace_stage("verify", sw.seconds());
 
   // Resolve the modules the archive names (may be custom, user-registered).
   auto& reg = module_registry<T>::instance();
@@ -341,6 +368,7 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   field.codes.ensure(dims.len(), device::space::device);
   codec->decode(sections.codec, hdr.radius, field.codes, s);
   decompress_timings_.encode = sw.seconds();
+  trace_stage("encode", decompress_timings_.encode);
 
   sw.reset();
   field.n_outliers = hdr.n_outliers;
@@ -376,12 +404,15 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   predictor->decompress(field, anchors, out, s);
   s.sync();
   decompress_timings_.predict = sw.seconds();
+  trace_stage("predict", decompress_timings_.predict);
   sw.reset();
   if (preprocessor->transforms()) {
     preprocessor->inverse(out, s);
     s.sync();
   }
   decompress_timings_.preprocess = sw.seconds();
+  trace_stage("preprocess", decompress_timings_.preprocess);
+  device::sample_trace_counters();
 }
 
 template <class T>

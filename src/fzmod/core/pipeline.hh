@@ -4,6 +4,10 @@
 //
 // The archive records module names, dims, dtype and quantizer settings, so
 // any process that has the named modules registered can decompress it.
+//
+// When tracing is enabled (FZMOD_TRACE=1 / trace::set_enabled), each call
+// emits a whole-call span plus one "pipeline"-category span per stage —
+// see docs/OBSERVABILITY.md. Disabled cost is one atomic load per site.
 #pragma once
 
 #include <atomic>
@@ -57,6 +61,8 @@ struct archive_info {
   u16 version = 1;  ///< archive format version (1 = pre-checksum, 2 = v2)
 };
 
+/// Parse an archive's headers into archive_info. Validates structure
+/// (throws status::corrupt_archive) but decodes no payload bytes.
 [[nodiscard]] archive_info inspect_archive(std::span<const u8> archive);
 
 /// Result of verify_archive(): per-section digest checks of a v2 archive.
@@ -113,6 +119,9 @@ class pipeline {
   [[nodiscard]] std::vector<T> decompress(std::span<const u8> archive);
 
   [[nodiscard]] const pipeline_config& config() const { return cfg_; }
+
+  /// Per-stage timings of the most recent compress()/decompress() on this
+  /// object. Not synchronized — read from the thread that made the call.
   [[nodiscard]] const stage_timings& last_compress_timings() const {
     return compress_timings_;
   }

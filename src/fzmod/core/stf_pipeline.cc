@@ -48,12 +48,12 @@ std::vector<u8> stf_compress(std::span<const f32> data, dims3 dims,
 
   auto side = std::make_shared<side_state>();
   stf::context ctx;
-  auto ld_data = ctx.import(data);
-  auto ld_q = ctx.make_data<i32>(n);
-  auto ld_codes = ctx.make_data<u16>(n);
-  auto ld_oflag = ctx.make_data<u8>(n);
-  auto ld_odelta = ctx.make_data<i32>(n);
-  auto ld_bins = ctx.make_data<u32>(nbins);
+  auto ld_data = ctx.import(data, "data");
+  auto ld_q = ctx.make_data<i32>(n, "quant");
+  auto ld_codes = ctx.make_data<u16>(n, "codes");
+  auto ld_oflag = ctx.make_data<u8>(n, "oflag");
+  auto ld_odelta = ctx.make_data<i32>(n, "odelta");
+  auto ld_bins = ctx.make_data<u32>(nbins, "bins");
 
   // Task 1 (device): pre-quantize to the integer lattice.
   ctx.submit(
@@ -281,9 +281,9 @@ std::vector<f32> stf_decompress(std::span<const u8> archive) {
               sections.value_outliers.size());
 
   stf::context ctx;
-  auto ld_codes = ctx.make_data<u16>(n);
-  auto ld_odelta = ctx.make_data<i32>(n);
-  auto ld_out = ctx.make_data<f32>(n);
+  auto ld_codes = ctx.make_data<u16>(n, "codes");
+  auto ld_odelta = ctx.make_data<i32>(n, "odelta");
+  auto ld_out = ctx.make_data<f32>(n, "out");
 
   // Branch A (host): Huffman decode. Branch B (device): outlier scatter.
   // No data dependency between them — the paper's showcase overlap.

@@ -32,11 +32,34 @@
 #include <vector>
 
 #include "fzmod/common/types.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::device {
 
+/// Plain-value copy of pool_stats, taken atomically with respect to every
+/// multi-field update (under the pool mutex): a reader can never observe
+/// e.g. hits incremented but bytes_served not yet — the torn-pair hazard
+/// the trace counter sampler would otherwise hit.
+struct pool_stats_snapshot {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 bytes_served = 0;
+  u64 bytes_cached = 0;
+  u64 trims = 0;
+  u64 bytes_trimmed = 0;
+
+  [[nodiscard]] f64 hit_rate() const {
+    return hits + misses
+               ? static_cast<f64>(hits) / static_cast<f64>(hits + misses)
+               : 0.0;
+  }
+};
+
 /// Cumulative counters for one memory pool. Monotonic except bytes_cached
-/// (the current cache footprint) — reads are racy-by-design telemetry.
+/// (the current cache footprint). Individual fields stay readable as
+/// atomics, but a *consistent* multi-field read must go through
+/// memory_pool::snapshot() — every mutation happens under the pool mutex,
+/// so the snapshot is torn-free.
 struct pool_stats {
   std::atomic<u64> hits{0};          // allocations served from the cache
   std::atomic<u64> misses{0};        // allocations that hit the system
@@ -89,23 +112,37 @@ class memory_pool {
     if (enabled_.load(std::memory_order_relaxed) &&
         rounded <= max_bin_bytes) {
       const int b = bin_index(rounded);
-      std::lock_guard lk(mu_);
-      auto& list = bins_[b];
-      if (!list.empty()) {
-        void* p = list.back();
-        list.pop_back();
-        stats_.hits.fetch_add(1, std::memory_order_relaxed);
-        stats_.bytes_served.fetch_add(rounded, std::memory_order_relaxed);
-        stats_.bytes_cached.fetch_sub(rounded, std::memory_order_relaxed);
+      void* p = nullptr;
+      {
+        std::lock_guard lk(mu_);
+        auto& list = bins_[b];
+        if (!list.empty()) {
+          p = list.back();
+          list.pop_back();
+          stats_.hits.fetch_add(1, std::memory_order_relaxed);
+          stats_.bytes_served.fetch_add(rounded, std::memory_order_relaxed);
+          stats_.bytes_cached.fetch_sub(rounded, std::memory_order_relaxed);
+        }
+      }
+      if (p) {
+        // Traced outside the critical section: the recorder takes its own
+        // per-thread lock and must not nest inside the pool mutex.
+        trace::instant("pool", "hit", 0, static_cast<f64>(rounded));
         return p;
       }
     }
     // Every path that reaches the system allocator counts as a miss — a
     // disabled pool misses everything — so `misses` always equals the
     // runtime allocator's system-allocation count, which is what the
-    // serving bench reports for pool-on vs pool-off.
-    stats_.misses.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_served.fetch_add(rounded, std::memory_order_relaxed);
+    // serving bench reports for pool-on vs pool-off. The paired update
+    // takes the mutex so snapshot() never sees a mid-update state; the
+    // cost is noise next to the ::operator new this path is about to pay.
+    {
+      std::lock_guard lk(mu_);
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_served.fetch_add(rounded, std::memory_order_relaxed);
+    }
+    trace::instant("pool", "miss", 0, static_cast<f64>(rounded));
     // Bin-sized even on the pass-through path so a later pooled free can
     // trust the bin capacity regardless of when the pool was toggled.
     return ::operator new(rounded, std::align_val_t{alignment});
@@ -138,14 +175,29 @@ class memory_pool {
         victims.insert(victims.end(), bins_[b].begin(), bins_[b].end());
         bins_[b].clear();
       }
+      // Counter updates stay inside the critical section so snapshot()
+      // sees the cache emptied and the trim tallied as one transition.
+      stats_.bytes_cached.fetch_sub(released, std::memory_order_relaxed);
+      stats_.trims.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_trimmed.fetch_add(released, std::memory_order_relaxed);
     }
     for (void* p : victims) {
       ::operator delete(p, std::align_val_t{alignment});
     }
-    stats_.bytes_cached.fetch_sub(released, std::memory_order_relaxed);
-    stats_.trims.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_trimmed.fetch_add(released, std::memory_order_relaxed);
     return released;
+  }
+
+  /// Consistent copy of this pool's counters (see pool_stats_snapshot).
+  [[nodiscard]] pool_stats_snapshot snapshot() {
+    std::lock_guard lk(mu_);
+    pool_stats_snapshot s;
+    s.hits = stats_.hits.load(std::memory_order_relaxed);
+    s.misses = stats_.misses.load(std::memory_order_relaxed);
+    s.bytes_served = stats_.bytes_served.load(std::memory_order_relaxed);
+    s.bytes_cached = stats_.bytes_cached.load(std::memory_order_relaxed);
+    s.trims = stats_.trims.load(std::memory_order_relaxed);
+    s.bytes_trimmed = stats_.bytes_trimmed.load(std::memory_order_relaxed);
+    return s;
   }
 
   /// Alias matching the mallopt-style naming used in the docs.

@@ -18,8 +18,13 @@
 // blocks in O(1) instead of round-tripping the system allocator per call.
 // See docs/RUNTIME.md for the pool design and the zero-steady-state-
 // allocation contract.
+//
+// Every stream op (memcpy, kernel, memset, host_task) is a trace span when
+// FZMOD_TRACE=1, tagged with its stream id and byte count; see
+// docs/OBSERVABILITY.md. Disabled cost is one relaxed atomic load per op.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -33,19 +38,52 @@
 #include "fzmod/device/memory_pool.hh"
 #include "fzmod/device/task.hh"
 #include "fzmod/device/thread_pool.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::device {
 
+/// Which memory space a buffer lives in (the host/device divide the
+/// runtime enforces dynamically).
 enum class space : u8 { host, device };
 
 [[nodiscard]] inline const char* to_string(space s) {
   return s == space::host ? "host" : "device";
 }
 
+/// Direction of a stream-ordered copy; each direction is tallied
+/// separately in runtime_stats.
 enum class copy_kind : u8 { h2h, h2d, d2h, d2d };
+
+[[nodiscard]] inline const char* to_string(copy_kind k) {
+  switch (k) {
+    case copy_kind::h2h: return "memcpy.h2h";
+    case copy_kind::h2d: return "memcpy.h2d";
+    case copy_kind::d2h: return "memcpy.d2h";
+    case copy_kind::d2d: return "memcpy.d2d";
+  }
+  return "memcpy";
+}
+
+/// Torn-free plain-value copy of runtime_stats (see
+/// runtime::stats_snapshot): pool sections are taken under each pool's
+/// mutex, and the in-use/peak pair is clamped so peak >= in_use always
+/// holds. This is what the trace counter sampler reads — it can never
+/// observe a mid-update pair.
+struct runtime_stats_snapshot {
+  u64 h2d_bytes = 0;
+  u64 d2h_bytes = 0;
+  u64 d2d_bytes = 0;
+  u64 kernels_launched = 0;
+  u64 device_bytes_in_use = 0;
+  u64 device_bytes_peak = 0;
+  pool_stats_snapshot device_pool;
+  pool_stats_snapshot host_pool;
+};
 
 /// Cumulative transfer/launch counters, readable by benches and tests.
 /// Pool counters are per memory space (device and host caching pools).
+/// Individual atomics are safe to read directly; for a consistent
+/// multi-field view use runtime::stats_snapshot().
 struct runtime_stats {
   std::atomic<u64> h2d_bytes{0};
   std::atomic<u64> d2h_bytes{0};
@@ -131,6 +169,27 @@ class runtime {
 
   /// Grain used when decomposing kernel launches ("block size").
   [[nodiscard]] std::size_t default_block() const { return 1u << 14; }
+
+  /// Torn-free multi-field view of the cumulative counters (see
+  /// runtime_stats_snapshot). Pool sections are copied under each pool's
+  /// mutex; the peak is clamped so `peak >= in_use` holds even while
+  /// allocations race the read.
+  [[nodiscard]] runtime_stats_snapshot stats_snapshot() {
+    runtime_stats_snapshot s;
+    s.device_pool = device_pool_.snapshot();
+    s.host_pool = host_pool_.snapshot();
+    s.h2d_bytes = stats_.h2d_bytes.load(std::memory_order_relaxed);
+    s.d2h_bytes = stats_.d2h_bytes.load(std::memory_order_relaxed);
+    s.d2d_bytes = stats_.d2d_bytes.load(std::memory_order_relaxed);
+    s.kernels_launched =
+        stats_.kernels_launched.load(std::memory_order_relaxed);
+    s.device_bytes_in_use =
+        stats_.device_bytes_in_use.load(std::memory_order_relaxed);
+    s.device_bytes_peak =
+        std::max(stats_.device_bytes_peak.load(std::memory_order_relaxed),
+                 s.device_bytes_in_use);
+    return s;
+  }
 
  private:
   [[nodiscard]] static bool pool_env_enabled() {
@@ -264,14 +323,20 @@ class buffer {
 /// once the stream has warmed up.
 class stream {
  public:
-  stream() = default;
+  stream() : id_(next_id()) {}
   stream(const stream&) = delete;
   stream& operator=(const stream&) = delete;
 
   ~stream() { sync(); }
 
+  /// Small process-unique id (1-based); trace events carry it so the
+  /// exporter can lay work out on per-stream tracks and the summary can
+  /// compute cross-stream overlap.
+  [[nodiscard]] u32 id() const { return id_; }
+
   template <class F>
   void enqueue(F&& op) {
+    trace::instant("stream", "enqueue", id_);
     std::unique_lock lk(mu_);
     ops_.push(unique_task(std::forward<F>(op)));
     if (!running_) {
@@ -316,6 +381,12 @@ class stream {
     }
   }
 
+  [[nodiscard]] static u32 next_id() {
+    static std::atomic<u32> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  u32 id_ = 0;
   std::mutex mu_;
   std::condition_variable idle_cv_;
   task_ring ops_;
@@ -376,7 +447,10 @@ class event {
 /// tallied per direction in runtime_stats.
 inline void memcpy_async(void* dst, const void* src, std::size_t bytes,
                          copy_kind kind, stream& s) {
-  s.enqueue([=] {
+  s.enqueue([=, sid = s.id()] {
+    // t0 == 0 doubles as "tracing off": now_ns() is 0 only at the trace
+    // epoch itself, so the disabled path costs exactly one branch here.
+    const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
     std::memcpy(dst, src, bytes);
     auto& st = runtime::instance().stats();
     switch (kind) {
@@ -384,6 +458,10 @@ inline void memcpy_async(void* dst, const void* src, std::size_t bytes,
       case copy_kind::d2h: st.d2h_bytes += bytes; break;
       case copy_kind::d2d: st.d2d_bytes += bytes; break;
       case copy_kind::h2h: break;
+    }
+    if (t0) {
+      trace::complete("stream", to_string(kind), t0, trace::now_ns() - t0,
+                      sid, static_cast<f64>(bytes));
     }
   });
 }
@@ -405,13 +483,18 @@ void copy_async(buffer<T>& dst, const buffer<T>& src, stream& s) {
 /// would be grid-stride loops with the same bodies.
 template <class F>
 void launch(stream& s, std::size_t n, F body) {
-  s.enqueue([n, body = std::move(body)] {
+  s.enqueue([n, body = std::move(body), sid = s.id()] {
+    const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
     auto& rt = runtime::instance();
     rt.stats().kernels_launched += 1;
     rt.pool().parallel_for(n, rt.default_block(),
                            [&](std::size_t lo, std::size_t hi) {
                              for (std::size_t i = lo; i < hi; ++i) body(i);
                            });
+    if (t0) {
+      trace::complete("stream", "kernel", t0, trace::now_ns() - t0, sid,
+                      static_cast<f64>(n));
+    }
   });
 }
 
@@ -420,7 +503,8 @@ void launch(stream& s, std::size_t n, F body) {
 /// bitshuffle, per-chunk Huffman) use this form.
 template <class F>
 void launch_blocks(stream& s, std::size_t n, std::size_t block, F body) {
-  s.enqueue([n, block, body = std::move(body)] {
+  s.enqueue([n, block, body = std::move(body), sid = s.id()] {
+    const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
     auto& rt = runtime::instance();
     rt.stats().kernels_launched += 1;
     const std::size_t nblocks = block ? (n + block - 1) / block : 0;
@@ -430,6 +514,10 @@ void launch_blocks(stream& s, std::size_t n, std::size_t block, F body) {
             body(b, b * block, std::min(n, (b + 1) * block));
           }
         });
+    if (t0) {
+      trace::complete("stream", "kernel.blocks", t0, trace::now_ns() - t0,
+                      sid, static_cast<f64>(n));
+    }
   });
 }
 
@@ -437,7 +525,13 @@ void launch_blocks(stream& s, std::size_t n, std::size_t block, F body) {
 /// pipeline — e.g. FZMod-Default's CPU Huffman encode).
 template <class F>
 void host_task(stream& s, F body) {
-  s.enqueue(std::move(body));
+  s.enqueue([body = std::move(body), sid = s.id()]() mutable {
+    const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
+    body();
+    if (t0) {
+      trace::complete("stream", "host_task", t0, trace::now_ns() - t0, sid);
+    }
+  });
 }
 
 template <class T>
@@ -445,14 +539,41 @@ void buffer<T>::fill_zero_async(stream& s) {
   if (!ptr_) return;
   auto* p = reinterpret_cast<unsigned char*>(ptr_);
   const std::size_t nbytes = bytes();
-  s.enqueue([p, nbytes] {
+  s.enqueue([p, nbytes, sid = s.id()] {
+    const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
     auto& rt = runtime::instance();
     rt.stats().kernels_launched += 1;
     rt.pool().parallel_for(nbytes, rt.default_block() * sizeof(T),
                            [p](std::size_t lo, std::size_t hi) {
                              std::memset(p + lo, 0, hi - lo);
                            });
+    if (t0) {
+      trace::complete("stream", "memset", t0, trace::now_ns() - t0, sid,
+                      static_cast<f64>(nbytes));
+    }
   });
+}
+
+/// Sample the runtime's cumulative counters into the trace as counter
+/// tracks (one torn-free stats_snapshot per call). Instrumented drivers
+/// call this at stage/commit boundaries; it is a single branch when
+/// tracing is disabled.
+inline void sample_trace_counters() {
+  if (!trace::enabled()) return;
+  const runtime_stats_snapshot s = runtime::instance().stats_snapshot();
+  trace::counter("pool.device.hits", static_cast<f64>(s.device_pool.hits));
+  trace::counter("pool.device.misses",
+                 static_cast<f64>(s.device_pool.misses));
+  trace::counter("pool.device.bytes_cached",
+                 static_cast<f64>(s.device_pool.bytes_cached));
+  trace::counter("pool.host.hits", static_cast<f64>(s.host_pool.hits));
+  trace::counter("pool.host.misses", static_cast<f64>(s.host_pool.misses));
+  trace::counter("runtime.kernels_launched",
+                 static_cast<f64>(s.kernels_launched));
+  trace::counter("runtime.device_bytes_in_use",
+                 static_cast<f64>(s.device_bytes_in_use));
+  trace::counter("runtime.h2d_bytes", static_cast<f64>(s.h2d_bytes));
+  trace::counter("runtime.d2h_bytes", static_cast<f64>(s.d2h_bytes));
 }
 
 }  // namespace fzmod::device

@@ -37,7 +37,11 @@
 
 namespace fzmod::stf {
 
+/// Declared access mode of a task on one logical datum; the three modes
+/// drive the RAW/WAR/WAW edges the runtime infers.
 enum class access : u8 { read, write, rw };
+
+/// Execution place of a task: which memory space its buffers resolve in.
 enum class place : u8 { host, device };
 
 namespace detail {
@@ -53,6 +57,7 @@ struct task_node {
 /// Untyped dependency-tracking state per logical datum (graph building is
 /// single-threaded; the context lock covers completion propagation).
 struct node_base {
+  std::string label;  ///< datum name (user-given or generated "ld<K>")
   std::shared_ptr<task_node> last_writer;
   std::vector<std::shared_ptr<task_node>> readers_since_write;
 };
@@ -87,12 +92,21 @@ struct node : node_base {
     if (m != access::write && !valid) {
       FZMOD_REQUIRE(other_valid, status::invalid_argument,
                     "stf: task reads uninitialized logical data");
+      const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
       std::memcpy(inst.data(), other.data(), n * sizeof(T));
       auto& st = device::runtime::instance().stats();
       if (p == place::device) {
         st.h2d_bytes += n * sizeof(T);
       } else {
         st.d2h_bytes += n * sizeof(T);
+      }
+      if (t0) {
+        // The automatic coherence transfer this prepare() inserted — the
+        // "runtime moves data for you" cost the timeline should show.
+        trace::complete(
+            "stf",
+            (p == place::device ? "fault.h2d:" : "fault.d2h:") + label, t0,
+            trace::now_ns() - t0, 0, static_cast<f64>(n * sizeof(T)));
       }
     }
     valid = true;
@@ -106,20 +120,27 @@ struct node : node_base {
 template <class T>
 class logical_data;
 
+/// One declared dependency of a task: which logical datum, in which
+/// access mode. Built with the read()/write()/rw() helpers below.
 template <class T>
 struct dep {
   logical_data<T>* ld;
   access mode;
 };
 
+/// Declare a read access: the task sees the datum's current contents and
+/// orders after its last writer.
 template <class T>
 [[nodiscard]] dep<T> read(logical_data<T>& l) {
   return {&l, access::read};
 }
+/// Declare a write access: contents on entry are unspecified; the task
+/// orders after the last writer and all readers since.
 template <class T>
 [[nodiscard]] dep<T> write(logical_data<T>& l) {
   return {&l, access::write};
 }
+/// Declare a read-modify-write access (write ordering, read coherence).
 template <class T>
 [[nodiscard]] dep<T> rw(logical_data<T>& l) {
   return {&l, access::rw};
@@ -165,15 +186,22 @@ class context {
   }
 
   /// Fresh logical datum with no valid instance (first access must write).
+  /// `name` labels the datum in trace output and the DOT dump; unnamed
+  /// data get a generated "ld<K>" label.
   template <class T>
-  [[nodiscard]] logical_data<T> make_data(std::size_t n) {
-    return logical_data<T>(std::make_shared<detail::node<T>>(n));
+  [[nodiscard]] logical_data<T> make_data(std::size_t n,
+                                          std::string name = {}) {
+    auto nd = std::make_shared<detail::node<T>>(n);
+    nd->label = resolve_label(std::move(name));
+    return logical_data<T>(std::move(nd));
   }
 
   /// Logical datum initialized from host memory (copied).
   template <class T>
-  [[nodiscard]] logical_data<T> import(std::span<const T> host) {
+  [[nodiscard]] logical_data<T> import(std::span<const T> host,
+                                       std::string name = {}) {
     auto nd = std::make_shared<detail::node<T>>(host.size());
+    nd->label = resolve_label(std::move(name));
     nd->host_inst = device::buffer<T>(host.size(), device::space::host);
     std::memcpy(nd->host_inst.data(), host.data(), host.size_bytes());
     nd->valid_host = true;
@@ -212,12 +240,19 @@ class context {
     };
     bool ready;
     const u64 task_id = next_task_id_++;
-    t->name += "#" + std::to_string(task_id);
+    t->name += '#';
+    t->name += std::to_string(task_id);
+    std::string accesses;  // e.g. "r:data w:quant" — the declared set
     {
       std::lock_guard lk(mu_);
       (
           [&] {
             detail::node_base& nb = *deps.ld->node_;
+            if (!accesses.empty()) accesses += ' ';
+            accesses += deps.mode == access::read    ? "r:"
+                        : deps.mode == access::write ? "w:"
+                                                     : "rw:";
+            accesses += nb.label;
             if (deps.mode == access::read) {
               add_pred(nb.last_writer);
               nb.readers_since_write.push_back(t);
@@ -235,11 +270,12 @@ class context {
       t->pending = static_cast<int>(preds.size());
       for (auto& pr : preds) pr->successors.push_back(t);
       ++inflight_;
-      // Record the inferred edges for dump_graphviz (debug tooling).
+      // Record the inferred node (with its declared access set) and edges
+      // for dump_graphviz / the trace DAG dump.
       std::sort(trace_deps.begin(), trace_deps.end());
       trace_deps.erase(std::unique(trace_deps.begin(), trace_deps.end()),
                        trace_deps.end());
-      trace_.emplace_back(t->name, std::move(trace_deps));
+      trace_.push_back({t->name, std::move(accesses), std::move(trace_deps)});
       // Decide readiness under the lock: once a predecessor link exists, a
       // completing predecessor may enqueue t itself, and checking pending
       // after unlocking would double-enqueue.
@@ -249,30 +285,42 @@ class context {
   }
 
   /// Render the dependency graph the runtime inferred so far as Graphviz
-  /// DOT (one node per submitted task, one edge per inferred ordering).
-  /// Debug tooling: call any time; reflects submissions, not completion.
+  /// DOT: one node per submitted task (labelled with its declared
+  /// read/write set), one edge per inferred ordering. Debug tooling: call
+  /// any time; reflects submissions, not completion.
   [[nodiscard]] std::string dump_graphviz() {
     std::lock_guard lk(mu_);
     std::string dot = "digraph stf {\n  rankdir=TB;\n";
-    for (const auto& [name, deps] : trace_) {
-      dot += "  \"" + name + "\";\n";
-      for (const auto& d : deps) {
-        dot += "  \"" + d + "\" -> \"" + name + "\";\n";
+    for (const auto& r : trace_) {
+      dot += "  \"" + r.name + "\" [label=\"" + r.name;
+      if (!r.accesses.empty()) dot += "\\n" + r.accesses;
+      dot += "\"];\n";
+      for (const auto& d : r.deps) {
+        dot += "  \"" + d + "\" -> \"" + r.name + "\";\n";
       }
     }
     dot += "}\n";
     return dot;
   }
 
-  /// Drain the graph; rethrows the first task exception.
+  /// Drain the graph; rethrows the first task exception. While tracing is
+  /// enabled, the inferred DAG is published to trace::set_last_dag so the
+  /// CLI's --trace-dot (and tests) can read it after the run.
   void finalize() {
-    std::unique_lock lk(mu_);
-    idle_cv_.wait(lk, [this] { return inflight_ == 0; });
-    if (first_error_) {
-      auto e = first_error_;
+    std::exception_ptr err;
+    bool have_tasks;
+    {
+      std::unique_lock lk(mu_);
+      idle_cv_.wait(lk, [this] { return inflight_ == 0; });
+      err = first_error_;
       first_error_ = nullptr;
-      std::rethrow_exception(e);
+      have_tasks = !trace_.empty();
     }
+    // Outside the lock: dump_graphviz re-acquires it.
+    if (have_tasks && trace::enabled()) {
+      trace::set_last_dag(dump_graphviz());
+    }
+    if (err) std::rethrow_exception(err);
   }
 
  private:
@@ -285,6 +333,9 @@ class context {
       }
       if (!poisoned) {
         try {
+          // The task's execution interval, labelled with its name — this
+          // is the per-task timeline the DOT dump's nodes map onto.
+          trace::span_scope sp("stf", t->name);
           t->run();
         } catch (...) {
           std::lock_guard lk(mu_);
@@ -309,12 +360,28 @@ class context {
     });
   }
 
+  [[nodiscard]] std::string resolve_label(std::string name) {
+    // Graph building is single-threaded (same contract as submit), so a
+    // plain counter suffices.
+    return name.empty() ? "ld" + std::to_string(next_data_id_++)
+                        : std::move(name);
+  }
+
+  /// One submitted task as dump_graphviz renders it: name, declared
+  /// access set, inferred predecessor names.
+  struct task_record {
+    std::string name;
+    std::string accesses;
+    std::vector<std::string> deps;
+  };
+
   std::mutex mu_;
   std::condition_variable idle_cv_;
   int inflight_ = 0;
   u64 next_task_id_ = 0;
+  u64 next_data_id_ = 0;
   std::exception_ptr first_error_ = nullptr;
-  std::vector<std::pair<std::string, std::vector<std::string>>> trace_;
+  std::vector<task_record> trace_;
 };
 
 }  // namespace fzmod::stf

@@ -7,12 +7,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <set>
+#include <string_view>
 #include <thread>
 
 #include "fzmod/common/rng.hh"
 #include "fzmod/core/chunked.hh"
 #include "fzmod/core/snapshot.hh"
 #include "fzmod/metrics/metrics.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::core {
 namespace {
@@ -329,6 +332,61 @@ TEST(Pipeline, ConcurrentUseOfOnePipelineThrows) {
   for (auto& t : threads) t.join();
   EXPECT_GE(successes.load(), 1);
   EXPECT_EQ(successes.load() + busy_errors.load(), 32);
+}
+
+TEST(Chunked, TraceSlotOccupancyMatchesJobs) {
+  // The slot scheduler publishes its occupancy through the trace
+  // recorder: one "chunk#N" span per chunk, a chunked.slots counter
+  // equal to the worker count, and chunked.inflight samples that never
+  // exceed the claim window (2 x jobs).
+  trace::set_enabled(true);
+  trace::clear();
+  const dims3 d{64, 16, 12};
+  const auto v = smooth_field(d, 23);
+  chunked_options opt;
+  opt.chunk_elems = 2 * 64 * 16;  // 6 chunks of 2 slabs
+  opt.jobs = 3;
+  chunked_pipeline<f32> pipe(pipeline_config{}, opt);
+  const auto arch = pipe.compress(v, d);
+  const u64 nchunks = inspect_chunked(arch).nchunks;
+  ASSERT_EQ(nchunks, 6u);
+
+  const auto evs = trace::snapshot();
+  std::set<std::string> chunk_spans;
+  f64 slots = -1, max_inflight = 0;
+  u64 commits = 0;
+  for (const auto& e : evs) {
+    if (e.k == trace::kind::span && std::string_view(e.cat) == "chunked") {
+      chunk_spans.insert(e.name);
+    } else if (e.k == trace::kind::counter &&
+               std::string_view(e.name) == "chunked.slots") {
+      slots = e.value;
+    } else if (e.k == trace::kind::counter &&
+               std::string_view(e.name) == "chunked.inflight") {
+      max_inflight = std::max(max_inflight, e.value);
+    } else if (e.k == trace::kind::instant &&
+               std::string_view(e.cat) == "chunked" &&
+               std::string_view(e.name) == "commit") {
+      ++commits;
+    }
+  }
+  trace::set_enabled(false);
+  trace::clear();
+
+  // One span per chunk, uniquely named chunk#0..chunk#5.
+  EXPECT_EQ(chunk_spans.size(), nchunks);
+  for (u64 c = 0; c < nchunks; ++c) {
+    EXPECT_TRUE(chunk_spans.count("chunk#" + std::to_string(c)));
+  }
+  // Worker count = min(jobs, nchunks) = 3; every chunk commits once;
+  // in-flight occupancy is bounded by the 2x window.
+  EXPECT_EQ(slots, 3.0);
+  EXPECT_EQ(commits, nchunks);
+  EXPECT_GE(max_inflight, 1.0);
+  EXPECT_LE(max_inflight, 2.0 * 3.0);
+
+  // The traced run still round-trips.
+  expect_within_bound(v, decompress_any<f32>(arch), 1e-4);
 }
 
 }  // namespace

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans all *.md files in the repository (skipping build/ and .git/) for
+inline links/images `[text](target)`, and verifies each relative target
+exists on disk. External schemes (http/https/mailto) and pure in-page
+anchors (#...) are skipped; a `path#anchor` target is checked for the path
+only. Exits nonzero listing every broken link.
+
+Run from the repository root (CI does) or any subdirectory of it.
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root() -> str:
+    d = os.path.abspath(os.getcwd())
+    while d != os.path.dirname(d):
+        if os.path.isdir(os.path.join(d, ".git")):
+            return d
+        d = os.path.dirname(d)
+    return os.path.abspath(os.getcwd())
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for fn in filenames:
+            if not fn.endswith(".md"):
+                continue
+            path = os.path.join(dirpath, fn)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+            # Fenced code blocks routinely hold example links; strip them.
+            text = re.sub(r"```.*?```", "", text, flags=re.S)
+            for m in LINK.finditer(text):
+                target = m.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(dirpath, target)
+                checked += 1
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    broken.append(f"{rel}: broken link -> {m.group(1)}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,9 +27,11 @@
 #include "fzmod/core/autotune.hh"
 #include "fzmod/core/chunked.hh"
 #include "fzmod/core/pipeline.hh"
+#include "fzmod/core/stf_pipeline.hh"
 #include "fzmod/data/datasets.hh"
 #include "fzmod/data/io.hh"
 #include "fzmod/metrics/metrics.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace {
 
@@ -47,8 +49,10 @@ using namespace fzmod;
                "quality]\n"
                "                   [--chunk-mb N] [--jobs N]  (chunk-parallel"
                " v3 container)\n"
+               "                   [--trace OUT.json] [--trace-dot OUT.dot]"
+               "  (see docs/OBSERVABILITY.md)\n"
                "  fzmod decompress -i IN.fzmod -o OUT.f32 [--jobs N]"
-               " [--range OFF,N]\n"
+               " [--range OFF,N] [--trace OUT.json]\n"
                "  fzmod inspect    -i IN.fzmod\n"
                "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
                " [--field N] -o OUT.f32\n"
@@ -144,6 +148,48 @@ core::pipeline_config build_config(const args& a, std::span<const f32> data,
   return cfg;
 }
 
+/// --trace / --trace-dot bookkeeping. Tracing is enabled (and any prior
+/// events cleared) *before* the timed work, and the outputs — Chrome JSON,
+/// the STF DAG DOT, and the plain-text summary on stderr — are written
+/// after it. See docs/OBSERVABILITY.md for how to read each surface.
+struct trace_request {
+  std::string json_path;
+  std::string dot_path;
+  [[nodiscard]] bool active() const {
+    return !json_path.empty() || !dot_path.empty();
+  }
+};
+
+trace_request parse_trace(const args& a) {
+  trace_request t{a.get("--trace"), a.get("--trace-dot")};
+  if (t.active()) {
+    trace::set_enabled(true);
+    trace::clear();
+  }
+  return t;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  data::write_file(path, std::span<const u8>(
+                             reinterpret_cast<const u8*>(text.data()),
+                             text.size()));
+}
+
+void finish_trace(const trace_request& t) {
+  if (!t.active()) return;
+  if (!t.json_path.empty()) write_text(t.json_path, trace::export_chrome_json());
+  if (!t.dot_path.empty()) {
+    const std::string dot = trace::last_dag();
+    if (dot.empty()) {
+      std::fprintf(stderr,
+                   "fzmod: --trace-dot: no task graph was recorded\n");
+    } else {
+      write_text(t.dot_path, dot);
+    }
+  }
+  std::fputs(trace::summary_report().c_str(), stderr);
+}
+
 core::chunked_options chunk_opts(const args& a) {
   core::chunked_options opt;
   if (a.has("--chunk-mb")) {
@@ -163,9 +209,14 @@ int cmd_compress(const args& a) {
   const dims3 dims = parse_dims(a.require("--dims"));
   const auto field = data::load_f32_field(a.require("-i"), dims);
   const auto cfg = build_config(a, field, dims);
+  const trace_request tr = parse_trace(a);
   stopwatch sw;
   std::vector<u8> archive;
-  if (a.has("--chunk-mb") || a.has("--jobs")) {
+  if (!tr.dot_path.empty()) {
+    // Only the STF driver infers a task DAG to dump; its archive is a
+    // standard v2 archive (lorenzo + huffman), decodable by any path.
+    archive = core::stf_compress(field, dims, cfg.eb, cfg.radius);
+  } else if (a.has("--chunk-mb") || a.has("--jobs")) {
     // Chunk-parallel path: multi-chunk plans emit the v3 container;
     // a field that fits one chunk stays a plain v2 archive.
     core::chunked_pipeline<f32> pipe(cfg, chunk_opts(a));
@@ -175,6 +226,7 @@ int cmd_compress(const args& a) {
     archive = pipe.compress(field, dims);
   }
   const f64 t = sw.seconds();
+  finish_trace(tr);
   data::write_file(a.require("-o"), archive);
   std::printf("%zu -> %zu bytes (%.2fx) in %.0f ms (%.3f GB/s)\n",
               field.size() * 4, archive.size(),
@@ -186,6 +238,7 @@ int cmd_compress(const args& a) {
 int cmd_decompress(const args& a) {
   const auto archive = data::read_file(a.require("-i"));
   core::chunked_pipeline<f32> pipe(core::pipeline_config{}, chunk_opts(a));
+  const trace_request tr = parse_trace(a);
   stopwatch sw;
   std::vector<f32> field;
   if (a.has("--range")) {
@@ -200,6 +253,7 @@ int cmd_decompress(const args& a) {
     field = pipe.decompress(archive);
   }
   const f64 t = sw.seconds();
+  finish_trace(tr);
   data::store_f32_field(a.require("-o"), field);
   std::printf("%zu -> %zu bytes in %.0f ms (%.3f GB/s)\n", archive.size(),
               field.size() * 4, 1e3 * t,
