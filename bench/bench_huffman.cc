@@ -1,0 +1,196 @@
+// Huffman decode tier A/B bench: quantize every Figure-1 dataset with the
+// Lorenzo predictor (eb 1e-4 rel, the fig1 operating point), Huffman-encode
+// the quant codes, then decode each blob through every decoder tier and
+// report MB/s per tier plus the auto-vs-canonical speedup.
+//
+// This is the evidence bench for the table-cached decoders: the committed
+// bench_huffman_evidence.json is regenerated from this binary, and CI runs
+// it with FZMOD_BENCH_CHECK=1 so a regression that drops the cached tiers
+// back to canonical throughput fails the build.
+//
+// Knobs:
+//   FZMOD_BENCH_REPS=N         best-of repetitions (default 3 here)
+//   FZMOD_BENCH_JSON=path      append machine-readable lines
+//   FZMOD_BENCH_CHECK=1        exit nonzero unless (a) every tier decodes
+//                              every blob back to the exact code stream and
+//                              (b) aggregate auto-tier speedup over forced
+//                              canonical >= FZMOD_HUFF_MIN_SPEEDUP
+//                              (default 1.5)
+//   FZMOD_HUFF_MIN_SPEEDUP=X   override the speedup floor
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "bench_common.hh"
+#include "fzmod/encoders/huffman.hh"
+#include "fzmod/predictors/lorenzo.hh"
+
+namespace fzmod {
+namespace {
+
+using encoders::huffman_tier;
+
+struct workload {
+  std::string name;
+  std::vector<u16> codes;
+  std::vector<u8> blob;
+  f64 avg_bits = 0;  // payload bits per symbol — drives tier selection
+};
+
+/// Quantize one field of `ds` and Huffman-encode the quant codes.
+workload make_workload(const data::dataset_desc& ds) {
+  const auto field = data::generate(ds, 0);
+  f32 lo = field[0], hi = field[0];
+  for (const f32 v : field) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const f64 ebx2 = 2.0 * 1e-4 * (static_cast<f64>(hi) - lo);
+
+  device::buffer<f32> dev(field.size(), device::space::device);
+  std::memcpy(dev.data(), field.data(), field.size() * sizeof(f32));
+  predictors::quant_field qf;
+  device::stream s;
+  predictors::lorenzo_compress_async(dev, ds.dims, ebx2,
+                                     predictors::default_radius, qf, s);
+  s.sync();
+
+  workload w;
+  w.name = ds.name;
+  w.codes.assign(qf.codes.data(), qf.codes.data() + qf.codes.size());
+  std::vector<u32> hist(2 * predictors::default_radius, 0);
+  for (const u16 c : w.codes) hist[c]++;
+  w.blob = encoders::huffman_encode(w.codes, hist);
+  const u64 payload =
+      w.blob.size() > 24 + hist.size() ? w.blob.size() - 24 - hist.size() : 0;
+  w.avg_bits = static_cast<f64>(payload) * 8.0 /
+               static_cast<f64>(std::max<std::size_t>(w.codes.size(), 1));
+  return w;
+}
+
+/// Best-of-`reps` decode of `w` through `tier`; returns seconds, sets
+/// `ok` false if any decoded stream mismatches the original codes.
+f64 time_decode(const workload& w, huffman_tier tier, int reps, bool& ok) {
+  std::vector<u16> out(w.codes.size());
+  f64 best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    stopwatch sw;
+    encoders::huffman_decode(w.blob, out, tier);
+    best = std::min(best, sw.seconds());
+  }
+  if (out != w.codes) ok = false;
+  return best;
+}
+
+int huffman_main() {
+  bench::bench_json_name() = "huffman";
+  const int reps = std::max(3, bench::timing_reps());
+  const auto catalog = data::catalog(data::fullscale_requested());
+
+  std::vector<workload> work;
+  for (const auto& ds : catalog) work.push_back(make_workload(ds));
+
+  constexpr huffman_tier tiers[] = {
+      huffman_tier::canonical, huffman_tier::single_cached,
+      huffman_tier::double_cached, huffman_tier::auto_select};
+
+  bench::print_header(
+      "Huffman decode tiers — fig1 quant-code workload, eb=1e-4 rel");
+  std::printf("%-10s %8s %9s %10s %10s %10s %10s %9s\n", "dataset", "MB",
+              "avg bits", "canon MB/s", "single", "double", "auto",
+              "speedup");
+  bench::print_rule(84);
+
+  bool roundtrip_ok = true;
+  f64 total_canon_s = 0, total_auto_s = 0;
+  u64 total_bytes = 0;
+  // Chunk-tier mix of the auto runs only (the cumulative process counters
+  // also include the forced-tier runs, so diff around the auto timing and
+  // divide by reps).
+  u64 auto_canon = 0, auto_single = 0, auto_double = 0;
+  for (const auto& w : work) {
+    const u64 bytes = w.codes.size() * sizeof(u16);
+    f64 secs[4];
+    for (int t = 0; t < 4; ++t) {
+      const auto before = encoders::huffman_tier_totals();
+      secs[t] = time_decode(w, tiers[t], reps, roundtrip_ok);
+      if (tiers[t] == huffman_tier::auto_select) {
+        const auto after = encoders::huffman_tier_totals();
+        const auto ureps = static_cast<u64>(reps);
+        auto_canon += (after.canonical - before.canonical) / ureps;
+        auto_single += (after.single_cached - before.single_cached) / ureps;
+        auto_double += (after.double_cached - before.double_cached) / ureps;
+      }
+    }
+    total_canon_s += secs[0];
+    total_auto_s += secs[3];
+    total_bytes += bytes;
+    const f64 mb = static_cast<f64>(bytes) / (1 << 20);
+    std::printf("%-10s %8.1f %9.2f %10.1f %10.1f %10.1f %10.1f %8.2fx\n",
+                w.name.c_str(), mb, w.avg_bits, mb / secs[0], mb / secs[1],
+                mb / secs[2], mb / secs[3], secs[0] / secs[3]);
+    if (std::FILE* f = bench::bench_json_stream()) {
+      std::fprintf(
+          f,
+          "{\"bench\":\"huffman\",\"label\":\"%s\",\"bytes\":%llu,"
+          "\"avg_bits\":%.4f,\"canonical_mbps\":%.2f,\"single_mbps\":%.2f,"
+          "\"double_mbps\":%.2f,\"auto_mbps\":%.2f,\"speedup\":%.4f}\n",
+          w.name.c_str(), static_cast<unsigned long long>(bytes), w.avg_bits,
+          mb / secs[0], mb / secs[1], mb / secs[2], mb / secs[3],
+          secs[0] / secs[3]);
+      std::fflush(f);
+    }
+  }
+  bench::print_rule(84);
+
+  const f64 speedup = total_canon_s / total_auto_s;
+  std::printf("aggregate: %.1f MB decoded, auto %.2fx vs canonical; "
+              "auto chunk mix canonical %llu / single %llu / double %llu\n",
+              static_cast<f64>(total_bytes) / (1 << 20), speedup,
+              static_cast<unsigned long long>(auto_canon),
+              static_cast<unsigned long long>(auto_single),
+              static_cast<unsigned long long>(auto_double));
+  std::printf("round-trip: %s\n", roundtrip_ok ? "ok" : "MISMATCH");
+
+  if (std::FILE* f = bench::bench_json_stream()) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"huffman\",\"label\":\"aggregate\",\"bytes\":%llu,"
+        "\"speedup_auto_vs_canonical\":%.4f,\"roundtrip_ok\":%s,"
+        "\"auto_chunks_canonical\":%llu,\"auto_chunks_single\":%llu,"
+        "\"auto_chunks_double\":%llu}\n",
+        static_cast<unsigned long long>(total_bytes), speedup,
+        roundtrip_ok ? "true" : "false",
+        static_cast<unsigned long long>(auto_canon),
+        static_cast<unsigned long long>(auto_single),
+        static_cast<unsigned long long>(auto_double));
+    std::fflush(f);
+  }
+
+  if (bench::env_int("FZMOD_BENCH_CHECK", 0)) {
+    if (!roundtrip_ok) {
+      std::fprintf(stderr, "FZMOD_BENCH_CHECK: tier decode mismatch\n");
+      return 1;
+    }
+    const f64 floor = std::atof([&] {
+      const char* v = std::getenv("FZMOD_HUFF_MIN_SPEEDUP");
+      return v && *v ? v : "1.5";
+    }());
+    if (speedup < floor) {
+      std::fprintf(stderr,
+                   "FZMOD_BENCH_CHECK: auto-tier speedup %.2fx below "
+                   "floor %.2fx\n",
+                   speedup, floor);
+      return 1;
+    }
+    std::printf("FZMOD_BENCH_CHECK: auto-tier speedup %.2fx >= %.2fx, "
+                "round-trip ok\n",
+                speedup, floor);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fzmod
+
+int main() { return fzmod::huffman_main(); }

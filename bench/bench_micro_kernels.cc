@@ -51,6 +51,22 @@ void BM_HistogramStandard(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramStandard)->UseRealTime();
 
+// Vector kernel tier: 4-way sub-histogram banks (see docs/RUNTIME.md,
+// "Decoder tiers & kernel tiers"). Same bins, different inner loop.
+void BM_HistogramVector(benchmark::State& state) {
+  const auto codes = make_codes(1 << 20, 4.0);
+  auto dev = to_device(codes);
+  device::buffer<u32> bins(1024, device::space::device);
+  for (auto _ : state) {
+    device::stream s;
+    kernels::histogram_vector_async(dev, bins, s);
+    s.sync();
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(codes.size() * 2));
+}
+BENCHMARK(BM_HistogramVector)->UseRealTime();
+
 void BM_HistogramTopK(benchmark::State& state) {
   const auto codes = make_codes(1 << 20, 2.0);
   auto dev = to_device(codes);
@@ -143,6 +159,33 @@ void BM_HuffmanDecode(benchmark::State& state) {
                           static_cast<i64>(codes.size() * 2));
 }
 BENCHMARK(BM_HuffmanDecode)->UseRealTime();
+
+// Forced decoder tiers on the same blob: canonical is the seed baseline,
+// single/double are the table-cached paths (a tier the codebook cannot
+// support falls back to canonical — see docs/RUNTIME.md).
+void BM_HuffmanDecodeTier(benchmark::State& state,
+                          encoders::huffman_tier tier) {
+  const auto codes = make_codes(1 << 20, 4.0);
+  std::vector<u32> hist(1024, 0);
+  for (const u16 c : codes) hist[c]++;
+  const auto blob = encoders::huffman_encode(codes, hist);
+  std::vector<u16> out(codes.size());
+  for (auto _ : state) {
+    encoders::huffman_decode(blob, out, tier);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(codes.size() * 2));
+}
+BENCHMARK_CAPTURE(BM_HuffmanDecodeTier, canonical,
+                  fzmod::encoders::huffman_tier::canonical)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_HuffmanDecodeTier, single,
+                  fzmod::encoders::huffman_tier::single_cached)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_HuffmanDecodeTier, double,
+                  fzmod::encoders::huffman_tier::double_cached)
+    ->UseRealTime();
 
 void BM_FixedLengthEncode(benchmark::State& state) {
   const auto codes = make_codes(1 << 20, 4.0);

@@ -58,6 +58,71 @@ class bit_writer {
   u64 bitpos_ = 0;
 };
 
+/// Byte-reverse a 64-bit word (std::byteswap is C++23; this repo is C++20).
+[[nodiscard]] constexpr u64 byteswap64(u64 v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  v = ((v & 0x00ff00ff00ff00ffULL) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffULL);
+  v = ((v & 0x0000ffff0000ffffULL) << 16) |
+      ((v >> 16) & 0x0000ffff0000ffffULL);
+  return (v << 32) | (v >> 32);
+#endif
+}
+
+/// 64-bit MSB-first bit reservoir: the Huffman decode fast path's reader.
+///
+/// The canonical decoder consumes an MSB-first bitstream (bit 7 of byte 0
+/// first). The seed decode loop re-assembled a 4-byte window from scratch
+/// for every symbol; this reader instead keeps the next 57..64 bits
+/// left-aligned in one register and refills with a single unaligned
+/// 64-bit load (+ byteswap on little-endian hosts) only when the window
+/// runs low — the rapidgzip refill discipline. Between refills, peek and
+/// consume are pure register ops.
+///
+/// Contract: the source must stay readable for 8 bytes past the highest
+/// byte the cursor reaches (decoders pad their payload copies; callers
+/// bound consumption with an external bit limit before each step).
+class msb_bit_reservoir {
+ public:
+  explicit msb_bit_reservoir(const u8* src) : src_(src) { reload(); }
+
+  /// Guarantee `nbits` (<= 57) peekable bits; at most one load.
+  void ensure(u32 nbits) {
+    if (avail_ < nbits) reload();
+  }
+
+  /// Top `nbits` (1..63) of the window, right-aligned. Requires a prior
+  /// ensure(nbits) since the last consume.
+  [[nodiscard]] u64 peek(u32 nbits) const { return window_ >> (64 - nbits); }
+
+  /// Drop `nbits` (<= avail) from the front of the window.
+  void consume(u32 nbits) {
+    window_ <<= nbits;
+    avail_ -= nbits;
+    bitpos_ += nbits;
+  }
+
+  /// Absolute bit position from the start of the source.
+  [[nodiscard]] u64 position() const { return bitpos_; }
+
+ private:
+  void reload() {
+    u64 w;
+    std::memcpy(&w, src_ + (bitpos_ >> 3), 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      w = byteswap64(w);
+    }
+    window_ = w << (bitpos_ & 7);
+    avail_ = static_cast<u32>(64 - (bitpos_ & 7));
+  }
+
+  const u8* src_;
+  u64 window_ = 0;
+  u64 bitpos_ = 0;
+  u32 avail_ = 0;
+};
+
 /// Read `nbits` (<= 57) starting at an arbitrary bit offset. The source
 /// must have 8 readable bytes past the last consumed position (decoders
 /// pad their input copies).

@@ -122,11 +122,14 @@ class lorenzo_module final : public predictor_module<T> {
     return predictor_lorenzo;
   }
   void compress(const device::buffer<T>& data, dims3 dims, f64 ebx2,
-                int radius, predictors::quant_field& out,
+                int radius, const pipeline_config& cfg,
+                predictors::quant_field& out,
                 predictors::interp_anchors& anchors,
                 device::stream& s) override {
     anchors.lattice.clear();
-    predictors::lorenzo_compress_async(data, dims, ebx2, radius, out, s);
+    predictors::lorenzo_compress_async(
+        data, dims, ebx2, radius, out, s,
+        device::effective_kernel_tier(cfg.kernel_tier));
   }
   void decompress(const predictors::quant_field& field,
                   const predictors::interp_anchors&, device::buffer<T>& out,
@@ -142,7 +145,8 @@ class spline_module final : public predictor_module<T> {
     return predictor_spline;
   }
   void compress(const device::buffer<T>& data, dims3 dims, f64 ebx2,
-                int radius, predictors::quant_field& out,
+                int radius, const pipeline_config&,
+                predictors::quant_field& out,
                 predictors::interp_anchors& anchors,
                 device::stream& s) override {
     predictors::interp_compress_async(data, dims, ebx2, radius, out, anchors,
@@ -172,7 +176,9 @@ class huffman_codec final : public codec_module {
                                        device::stream& s) override {
     const std::size_t nbins = 2 * static_cast<std::size_t>(radius);
     bins_.ensure(nbins, device::space::device);
-    kernels::histogram_dispatch_async(cfg.histogram, codes, bins_, s);
+    kernels::histogram_dispatch_async(
+        cfg.histogram, codes, bins_, s,
+        device::effective_kernel_tier(cfg.kernel_tier));
 
     host_codes_.ensure(codes.size(), device::space::host);
     host_bins_.ensure(nbins, device::space::host);

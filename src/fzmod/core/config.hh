@@ -32,6 +32,13 @@ struct pipeline_config {
   std::string codec = codec_huffman;
   kernels::histogram_kind histogram = kernels::histogram_kind::standard;
   bool secondary = false;  // run the LZ secondary encoder over the archive
+  /// Which implementation tier the hot device kernels run in (Lorenzo
+  /// prediction, histogram, outlier compaction). `auto_probe` defers to
+  /// the process-wide policy (FZMOD_KERNEL_TIER, else a one-time measured
+  /// probe); `portable`/`vector` pin this pipeline's launches. Purely an
+  /// execution-strategy knob: both tiers produce identical archives.
+  device::kernel_tier_policy kernel_tier =
+      device::kernel_tier_policy::auto_probe;
 
   /// FZMod-Default (paper §3.3): Lorenzo + standard histogram + CPU
   /// Huffman. Balances throughput, ratio and quality.

@@ -68,6 +68,9 @@ class preprocessor_module {
 
 /// Stage 2 — prediction + quantization. Produces the quant_field IR (and
 /// an anchor payload, which non-hierarchical predictors leave empty).
+/// compress() receives the pipeline_config (like codec_module::encode)
+/// so execution-strategy knobs — today the kernel_tier policy — reach
+/// the kernels without widening the signature per knob.
 template <class T>
 class predictor_module {
  public:
@@ -75,7 +78,8 @@ class predictor_module {
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   virtual void compress(const device::buffer<T>& data, dims3 dims, f64 ebx2,
-                        int radius, predictors::quant_field& out,
+                        int radius, const pipeline_config& cfg,
+                        predictors::quant_field& out,
                         predictors::interp_anchors& anchors,
                         device::stream& s) = 0;
 

@@ -177,7 +177,8 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   sw.reset();
   predictors::quant_field& field = compress_field_;
   predictors::interp_anchors& anchors = compress_anchors_;
-  predictor_->compress(*src, dims, ebx2, cfg_.radius, field, anchors, s);
+  predictor_->compress(*src, dims, ebx2, cfg_.radius, cfg_, field, anchors,
+                       s);
   s.sync();
   compress_timings_.predict = sw.seconds();
   trace_stage("predict", compress_timings_.predict);

@@ -1,0 +1,207 @@
+// FZModules — the kernel tier policy: portable vs. vectorized variants.
+//
+// The hottest kernels (Lorenzo predict/quantize, histogram, outlier
+// compaction) ship in two tiers:
+//
+//  - `portable`: the original grid-stride bodies — straightforward loops
+//    with per-element branches, correct everywhere, the reference tier;
+//  - `vector`: explicitly vectorization-friendly rewrites — branch-free
+//    gather-free inner loops, conflict-free sub-histogram privatization,
+//    row-structured boundary handling — the shapes a SIMD unit (or a GPU
+//    warp without divergence) executes at full width.
+//
+// Both tiers produce identical results; dispatch picks one per launch.
+// The policy comes from `FZMOD_KERNEL_TIER` (auto|portable|vector),
+// overridable per pipeline (`core::pipeline_config::kernel_tier`) and at
+// runtime (`set_kernel_tier_policy`). `auto` resolves once per process
+// via a tiny measured probe: both histogram inner loops run on a
+// synthetic input and the faster tier wins — the CPU-substrate analogue
+// of a CUDA occupancy/architecture probe at first dispatch.
+//
+// Every dispatch records which tier ran (cumulative totals +
+// `kernel_tier.*` trace counters; see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "fzmod/common/error.hh"
+#include "fzmod/common/types.hh"
+#include "fzmod/trace/trace.hh"
+
+namespace fzmod::device {
+
+/// A concrete tier a launch runs in.
+enum class kernel_tier : u8 { portable = 0, vector = 1 };
+
+/// What the user asked for; `auto_probe` defers to the one-time probe.
+enum class kernel_tier_policy : u8 { auto_probe = 0, portable = 1, vector = 2 };
+
+[[nodiscard]] inline const char* to_string(kernel_tier t) {
+  return t == kernel_tier::vector ? "vector" : "portable";
+}
+
+[[nodiscard]] inline const char* to_string(kernel_tier_policy p) {
+  switch (p) {
+    case kernel_tier_policy::portable: return "portable";
+    case kernel_tier_policy::vector: return "vector";
+    case kernel_tier_policy::auto_probe: break;
+  }
+  return "auto";
+}
+
+/// Parse a policy name (the FZMOD_KERNEL_TIER / --kernel-tier values).
+/// Throws on unknown names so typos fail loudly instead of silently
+/// running the wrong tier.
+[[nodiscard]] inline kernel_tier_policy parse_kernel_tier_policy(
+    std::string_view v) {
+  if (v == "auto" || v.empty()) return kernel_tier_policy::auto_probe;
+  if (v == "portable") return kernel_tier_policy::portable;
+  if (v == "vector") return kernel_tier_policy::vector;
+  throw error(status::invalid_argument,
+              "kernel tier must be auto|portable|vector, got '" +
+                  std::string(v) + "'");
+}
+
+namespace detail {
+
+/// One-time measured probe: run both histogram inner-loop shapes over a
+/// deterministic synthetic symbol stream and return the faster tier.
+/// Single-threaded and tiny (~256 KiB touched) so first dispatch pays
+/// well under a millisecond.
+[[nodiscard]] inline kernel_tier probe_kernel_tier() {
+  constexpr std::size_t n = 1u << 16;
+  constexpr std::size_t nbins = 1024;
+  std::array<u16, n>& codes = *new std::array<u16, n>;
+  u64 lcg = 0x9e3779b97f4a7c15ULL;
+  for (auto& c : codes) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    c = static_cast<u16>((lcg >> 33) & (nbins - 1));
+  }
+  std::vector<u32> bins(nbins * 4, 0);
+  const auto time_reps = [&](auto&& body) {
+    // Best of 3: the probe must not be fooled by one cold-cache rep.
+    u64 best = ~u64{0};
+    for (int rep = 0; rep < 3; ++rep) {
+      std::memset(bins.data(), 0, bins.size() * sizeof(u32));
+      const auto t0 = std::chrono::steady_clock::now();
+      body();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min<u64>(
+          best, static_cast<u64>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        t1 - t0)
+                        .count()));
+    }
+    return best;
+  };
+  volatile u32 sink = 0;
+  const u64 t_portable = time_reps([&] {
+    for (std::size_t i = 0; i < n; ++i) bins[codes[i]]++;
+    sink = bins[0];
+  });
+  const u64 t_vector = time_reps([&] {
+    // 4-way sub-histograms: breaks the same-bin store-to-load dependency
+    // chain that serializes the scalar loop on concentrated inputs.
+    u32* b = bins.data();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      b[0 * nbins + codes[i + 0]]++;
+      b[1 * nbins + codes[i + 1]]++;
+      b[2 * nbins + codes[i + 2]]++;
+      b[3 * nbins + codes[i + 3]]++;
+    }
+    for (; i < n; ++i) b[codes[i]]++;
+    sink = b[0];
+  });
+  (void)sink;
+  delete &codes;
+  return t_vector <= t_portable ? kernel_tier::vector
+                                : kernel_tier::portable;
+}
+
+inline std::atomic<u8>& policy_slot() {
+  static std::atomic<u8> slot{[] {
+    const char* v = std::getenv("FZMOD_KERNEL_TIER");
+    return static_cast<u8>(v ? parse_kernel_tier_policy(v)
+                             : kernel_tier_policy::auto_probe);
+  }()};
+  return slot;
+}
+
+}  // namespace detail
+
+/// Process-wide policy switch (benches/tests/CLI flip it at runtime; the
+/// startup default honours FZMOD_KERNEL_TIER).
+inline void set_kernel_tier_policy(kernel_tier_policy p) {
+  detail::policy_slot().store(static_cast<u8>(p),
+                              std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline kernel_tier_policy current_kernel_tier_policy() {
+  return static_cast<kernel_tier_policy>(
+      detail::policy_slot().load(std::memory_order_relaxed));
+}
+
+/// Resolve a policy to a concrete tier. `auto_probe` runs the measured
+/// probe exactly once per process and caches the verdict.
+[[nodiscard]] inline kernel_tier resolve_kernel_tier(kernel_tier_policy p) {
+  switch (p) {
+    case kernel_tier_policy::portable: return kernel_tier::portable;
+    case kernel_tier_policy::vector: return kernel_tier::vector;
+    case kernel_tier_policy::auto_probe: break;
+  }
+  static const kernel_tier probed = detail::probe_kernel_tier();
+  return probed;
+}
+
+/// The tier dispatch uses when no per-pipeline override applies.
+[[nodiscard]] inline kernel_tier active_kernel_tier() {
+  return resolve_kernel_tier(current_kernel_tier_policy());
+}
+
+/// Resolve a per-pipeline policy (core::pipeline_config::kernel_tier):
+/// explicit tiers win; `auto_probe` defers to the process-wide policy
+/// (FZMOD_KERNEL_TIER / set_kernel_tier_policy / the probe).
+[[nodiscard]] inline kernel_tier effective_kernel_tier(kernel_tier_policy p) {
+  if (p == kernel_tier_policy::auto_probe) return active_kernel_tier();
+  return resolve_kernel_tier(p);
+}
+
+/// Cumulative per-tier launch totals (tests and the trace sampler read
+/// these; dispatch sites bump them via note_kernel_tier_launch).
+struct kernel_tier_totals {
+  u64 portable = 0;
+  u64 vector = 0;
+};
+
+namespace detail {
+inline std::atomic<u64>& tier_counter(kernel_tier t) {
+  static std::atomic<u64> counts[2]{};
+  return counts[t == kernel_tier::vector ? 1 : 0];
+}
+}  // namespace detail
+
+/// Record that a tiered kernel dispatched as `t`: bumps the cumulative
+/// total and, while tracing, emits a `kernel_tier.<name>` counter sample.
+inline void note_kernel_tier_launch(kernel_tier t) {
+  const u64 total =
+      detail::tier_counter(t).fetch_add(1, std::memory_order_relaxed) + 1;
+  if (trace::enabled()) {
+    trace::counter(t == kernel_tier::vector ? "kernel_tier.vector"
+                                            : "kernel_tier.portable",
+                   static_cast<f64>(total));
+  }
+}
+
+[[nodiscard]] inline kernel_tier_totals kernel_tier_launch_totals() {
+  return {detail::tier_counter(kernel_tier::portable)
+              .load(std::memory_order_relaxed),
+          detail::tier_counter(kernel_tier::vector)
+              .load(std::memory_order_relaxed)};
+}
+
+}  // namespace fzmod::device

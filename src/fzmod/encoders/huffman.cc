@@ -1,13 +1,18 @@
 #include "fzmod/encoders/huffman.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
+#include <optional>
 #include <queue>
+#include <string_view>
 
 #include "fzmod/common/bits.hh"
 #include "fzmod/common/error.hh"
 #include "fzmod/device/runtime.hh"
+#include "fzmod/trace/trace.hh"
 
 namespace fzmod::encoders {
 namespace {
@@ -194,6 +199,221 @@ struct decode_table {
   }
 };
 
+// ---- cached decoder tiers ----------------------------------------------
+
+/// Single-cached tier: LUT wide enough for the longest code, so one
+/// lookup always resolves a full symbol. Entry = (sym << 8) | len; 0
+/// marks a window no code matches (incomplete books leave holes — a
+/// hostile bitstream landing there throws instead of desyncing).
+struct single_cached_table {
+  u32 bits = 1;
+  std::vector<u32> lut;
+
+  single_cached_table(std::span<const u8> lens, std::span<const u32> codes,
+                      u32 max_len) {
+    bits = std::max<u32>(max_len, 1);
+    lut.assign(std::size_t{1} << bits, 0);
+    for (std::size_t sym = 0; sym < lens.size(); ++sym) {
+      const u32 l = lens[sym];
+      if (l == 0) continue;
+      const u32 prefix = codes[sym] << (bits - l);
+      const u32 fills = u32{1} << (bits - l);
+      for (u32 f = 0; f < fills; ++f) {
+        lut[prefix | f] = (static_cast<u32>(sym) << 8) | l;
+      }
+    }
+  }
+};
+
+/// Double-cached tier: fixed 2^12 LUT whose entries resolve up to TWO
+/// complete codes per lookup. Entry = (sym0 << 32) | (sym1 << 16) |
+/// (len0 << 8) | len_total; len_total == len0 means only one code fit
+/// the window; 0 means the first code is longer than the table and the
+/// caller walks the canonical tables instead. Build cost is bounded by
+/// the Kraft sum: total pair fills <= 2^12.
+struct double_cached_table {
+  static constexpr u32 bits = huffman_double_table_bits;
+  std::vector<u64> lut;
+
+  double_cached_table(std::span<const u8> lens, std::span<const u32> codes) {
+    lut.assign(std::size_t{1} << bits, 0);
+    std::array<std::vector<u16>, bits + 1> by_len{};
+    for (std::size_t sym = 0; sym < lens.size(); ++sym) {
+      if (lens[sym] && lens[sym] <= bits) {
+        by_len[lens[sym]].push_back(static_cast<u16>(sym));
+      }
+    }
+    // Pass 1: every short-enough first code as a single-symbol entry.
+    for (u32 l0 = 1; l0 <= bits; ++l0) {
+      for (const u16 sym0 : by_len[l0]) {
+        const u32 prefix = codes[sym0] << (bits - l0);
+        const u64 e = (static_cast<u64>(sym0) << 32) |
+                      (static_cast<u64>(l0) << 8) | l0;
+        for (u32 f = 0; f < (u32{1} << (bits - l0)); ++f) lut[prefix | f] = e;
+      }
+    }
+    // Pass 2: where a complete second code also fits, upgrade to a pair.
+    for (u32 l0 = 1; l0 < bits; ++l0) {
+      for (const u16 sym0 : by_len[l0]) {
+        const u32 prefix0 = codes[sym0] << (bits - l0);
+        for (u32 l1 = 1; l1 + l0 <= bits; ++l1) {
+          for (const u16 sym1 : by_len[l1]) {
+            const u32 prefix = prefix0 | (codes[sym1] << (bits - l0 - l1));
+            const u64 e = (static_cast<u64>(sym0) << 32) |
+                          (static_cast<u64>(sym1) << 16) |
+                          (static_cast<u64>(l0) << 8) | (l0 + l1);
+            for (u32 f = 0; f < (u32{1} << (bits - l0 - l1)); ++f) {
+              lut[prefix | f] = e;
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---- per-chunk decode loops ---------------------------------------------
+//
+// All three loops share the seed's safety posture: the cursor is checked
+// against the chunk's bit extent before every step, and the payload copy
+// is padded so reservoir reloads past the last real byte read zeros.
+
+void decode_chunk_canonical(const decode_table& table, const u8* src,
+                            u64 bit_limit, std::span<u16> out, u64 beg_sym,
+                            u64 end_sym) {
+  u64 bitpos = 0;
+  for (u64 i = beg_sym; i < end_sym; ++i) {
+    FZMOD_REQUIRE(bitpos <= bit_limit, status::corrupt_archive,
+                  "huffman: chunk bitstream overrun");
+    // Assemble a 24-bit MSB-first window at bitpos.
+    u64 window = 0;
+    const u64 byte = bitpos >> 3;
+    for (int b = 0; b < 4; ++b) {
+      window = (window << 8) | src[byte + static_cast<u64>(b)];
+    }
+    window = (window >> (8 - (bitpos & 7))) &
+             ((u64{1} << huffman_max_code_len) - 1);
+    const auto [sym, len] = table.decode(window);
+    out[i] = sym;
+    bitpos += len;
+  }
+}
+
+void decode_chunk_single(const single_cached_table& t, const u8* src,
+                         u64 bit_limit, std::span<u16> out, u64 beg_sym,
+                         u64 end_sym) {
+  msb_bit_reservoir br(src);
+  for (u64 i = beg_sym; i < end_sym; ++i) {
+    FZMOD_REQUIRE(br.position() <= bit_limit, status::corrupt_archive,
+                  "huffman: chunk bitstream overrun");
+    br.ensure(t.bits);
+    const u32 e = t.lut[br.peek(t.bits)];
+    FZMOD_REQUIRE(e != 0, status::corrupt_archive,
+                  "huffman: undecodable window");
+    out[i] = static_cast<u16>(e >> 8);
+    br.consume(e & 0xffu);
+  }
+}
+
+void decode_chunk_double(const double_cached_table& t,
+                         const decode_table& walk, const u8* src,
+                         u64 bit_limit, std::span<u16> out, u64 beg_sym,
+                         u64 end_sym) {
+  msb_bit_reservoir br(src);
+  u64 i = beg_sym;
+  while (i < end_sym) {
+    FZMOD_REQUIRE(br.position() <= bit_limit, status::corrupt_archive,
+                  "huffman: chunk bitstream overrun");
+    br.ensure(huffman_max_code_len);
+    const u64 e = t.lut[br.peek(double_cached_table::bits)];
+    if (e == 0) {
+      // First code longer than the table: one canonical walk.
+      const auto [sym, len] = walk.decode(br.peek(huffman_max_code_len));
+      out[i++] = sym;
+      br.consume(len);
+      continue;
+    }
+    const u32 l0 = static_cast<u32>((e >> 8) & 0xff);
+    const u32 ltot = static_cast<u32>(e & 0xff);
+    out[i++] = static_cast<u16>(e >> 32);
+    if (ltot != l0 && i < end_sym) {
+      out[i++] = static_cast<u16>((e >> 16) & 0xffff);
+      br.consume(ltot);
+    } else {
+      br.consume(l0);
+    }
+  }
+}
+
+// ---- blob validation (shared by decode and decoded_count) ---------------
+
+struct parsed_blob {
+  blob_header hdr;
+  std::span<const u8> lens;
+  std::vector<u64> offsets;
+  std::size_t payload_off = 0;
+};
+
+/// Validate every structural invariant an attacker-controlled blob could
+/// violate — magic, chunk geometry, alphabet size, metadata extent,
+/// offset monotonicity, payload extent — before anything downstream
+/// sizes a buffer or walks a table from it.
+parsed_blob parse_blob(std::span<const u8> blob) {
+  parsed_blob pb;
+  FZMOD_REQUIRE(blob.size() >= sizeof(blob_header), status::corrupt_archive,
+                "huffman: blob too small");
+  std::memcpy(&pb.hdr, blob.data(), sizeof(pb.hdr));
+  const blob_header& hdr = pb.hdr;
+  FZMOD_REQUIRE(hdr.magic == blob_magic, status::corrupt_archive,
+                "huffman: bad magic");
+  FZMOD_REQUIRE(hdr.chunk == huffman_chunk, status::corrupt_archive,
+                "huffman: unsupported chunk size");
+  FZMOD_REQUIRE(hdr.nchunks ==
+                    (hdr.count ? (hdr.count - 1) / hdr.chunk + 1 : 0),
+                status::corrupt_archive, "huffman: chunk count mismatch");
+  FZMOD_REQUIRE(hdr.nbins <= 65536, status::corrupt_archive,
+                "huffman: implausible alphabet size");
+  const std::size_t meta =
+      sizeof(hdr) + hdr.nbins + (hdr.nchunks + std::size_t{1}) * sizeof(u64);
+  FZMOD_REQUIRE(blob.size() >= meta, status::corrupt_archive,
+                "huffman: truncated metadata");
+  pb.lens = blob.subspan(sizeof(hdr), hdr.nbins);
+  pb.offsets.resize(hdr.nchunks + std::size_t{1});
+  std::memcpy(pb.offsets.data(), blob.data() + sizeof(hdr) + hdr.nbins,
+              pb.offsets.size() * sizeof(u64));
+  // Offsets are data: enforce monotonicity so no chunk can point outside
+  // the payload.
+  for (u32 c = 0; c < hdr.nchunks; ++c) {
+    FZMOD_REQUIRE(pb.offsets[c] <= pb.offsets[c + 1], status::corrupt_archive,
+                  "huffman: non-monotonic chunk offsets");
+  }
+  FZMOD_REQUIRE(pb.offsets[hdr.nchunks] <= blob.size() &&
+                    blob.size() >= meta + pb.offsets[hdr.nchunks],
+                status::corrupt_archive, "huffman: truncated payload");
+  pb.payload_off = meta;
+  return pb;
+}
+
+// ---- tier selection plumbing --------------------------------------------
+
+std::atomic<u64> g_tier_chunks[3]{};  // canonical, single_cached, double_cached
+
+huffman_tier env_default_tier() {
+  static const huffman_tier t = [] {
+    const char* v = std::getenv("FZMOD_HUFF_TIER");
+    if (!v || !*v) return huffman_tier::auto_select;
+    const std::string_view s{v};
+    if (s == "auto") return huffman_tier::auto_select;
+    if (s == "canonical") return huffman_tier::canonical;
+    if (s == "single") return huffman_tier::single_cached;
+    if (s == "double") return huffman_tier::double_cached;
+    throw error(status::invalid_argument,
+                "FZMOD_HUFF_TIER must be auto|canonical|single|double, got '" +
+                    std::string(s) + "'");
+  }();
+  return t;
+}
+
 /// Encode one chunk MSB-first into `dst` (sized worst case); returns bits.
 u64 encode_chunk(std::span<const u16> chunk, const huffman_codebook& book,
                  u8* dst) {
@@ -277,84 +497,140 @@ std::vector<u8> huffman_encode(std::span<const u16> codes,
 }
 
 u64 huffman_decoded_count(std::span<const u8> blob) {
-  FZMOD_REQUIRE(blob.size() >= sizeof(blob_header), status::corrupt_archive,
-                "huffman: blob too small");
-  blob_header hdr;
-  std::memcpy(&hdr, blob.data(), sizeof(hdr));
-  FZMOD_REQUIRE(hdr.magic == blob_magic, status::corrupt_archive,
-                "huffman: bad magic");
-  return hdr.count;
+  // Full structural validation: a truncated or forged blob fails here,
+  // not after a caller has sized an output span from the bogus count.
+  return parse_blob(blob).hdr.count;
 }
 
-void huffman_decode(std::span<const u8> blob, std::span<u16> out) {
-  FZMOD_REQUIRE(blob.size() >= sizeof(blob_header), status::corrupt_archive,
-                "huffman: blob too small");
-  blob_header hdr;
-  std::memcpy(&hdr, blob.data(), sizeof(hdr));
-  FZMOD_REQUIRE(hdr.magic == blob_magic, status::corrupt_archive,
-                "huffman: bad magic");
+const char* to_string(huffman_tier t) {
+  switch (t) {
+    case huffman_tier::canonical: return "canonical";
+    case huffman_tier::single_cached: return "single";
+    case huffman_tier::double_cached: return "double";
+    case huffman_tier::auto_select: break;
+  }
+  return "auto";
+}
+
+huffman_tier huffman_select_tier(u32 max_code_len, f64 chunk_avg_bits) {
+  // Double pays off when one 12-bit window usually holds two complete
+  // codes, i.e. twice the chunk's achieved rate fits the table.
+  if (chunk_avg_bits > 0.0 &&
+      2.0 * chunk_avg_bits <= static_cast<f64>(huffman_double_table_bits)) {
+    return huffman_tier::double_cached;
+  }
+  if (max_code_len <= huffman_single_table_bits) {
+    return huffman_tier::single_cached;
+  }
+  return huffman_tier::canonical;
+}
+
+huffman_tier_counts huffman_tier_totals() {
+  return {g_tier_chunks[0].load(std::memory_order_relaxed),
+          g_tier_chunks[1].load(std::memory_order_relaxed),
+          g_tier_chunks[2].load(std::memory_order_relaxed)};
+}
+
+void huffman_decode(std::span<const u8> blob, std::span<u16> out,
+                    huffman_tier tier) {
+  const parsed_blob pb = parse_blob(blob);
+  const blob_header& hdr = pb.hdr;
   FZMOD_REQUIRE(out.size() >= hdr.count, status::invalid_argument,
                 "huffman: output span too small");
-  // Internal consistency before any count-derived allocation.
-  FZMOD_REQUIRE(hdr.chunk == huffman_chunk, status::corrupt_archive,
-                "huffman: unsupported chunk size");
-  FZMOD_REQUIRE(hdr.nchunks ==
-                    (hdr.count ? (hdr.count - 1) / hdr.chunk + 1 : 0),
-                status::corrupt_archive, "huffman: chunk count mismatch");
-  FZMOD_REQUIRE(hdr.nbins <= 65536, status::corrupt_archive,
-                "huffman: implausible alphabet size");
-  const std::size_t meta =
-      sizeof(hdr) + hdr.nbins + (hdr.nchunks + 1) * sizeof(u64);
-  FZMOD_REQUIRE(blob.size() >= meta, status::corrupt_archive,
-                "huffman: truncated metadata");
+  // Canonical tables always build: they validate the lengths (cap +
+  // Kraft) and back the double tier's slow path.
+  const decode_table table(pb.lens);
+  if (hdr.count == 0) return;
 
-  std::span<const u8> lens = blob.subspan(sizeof(hdr), hdr.nbins);
-  std::vector<u64> offsets(hdr.nchunks + 1);
-  std::memcpy(offsets.data(), blob.data() + sizeof(hdr) + hdr.nbins,
-              offsets.size() * sizeof(u64));
-  // Offsets are data: enforce monotonicity so no chunk can point outside
-  // the payload.
+  u32 max_len = 0;
+  for (const u8 l : pb.lens) max_len = std::max<u32>(max_len, l);
+
+  // Choose a tier per chunk. The achieved bits/symbol falls straight out
+  // of the offsets table, so selection is per chunk without any format
+  // change — dense chunks and sparse chunks of one blob can take
+  // different paths.
+  std::vector<u8> chunk_tier(hdr.nchunks);
+  u64 tier_chunks[3] = {0, 0, 0};
   for (u32 c = 0; c < hdr.nchunks; ++c) {
-    FZMOD_REQUIRE(offsets[c] <= offsets[c + 1], status::corrupt_archive,
-                  "huffman: non-monotonic chunk offsets");
+    const u64 beg_sym = u64{c} * hdr.chunk;
+    const u64 nsyms = std::min<u64>(hdr.count, beg_sym + hdr.chunk) - beg_sym;
+    huffman_tier t = tier;
+    if (t == huffman_tier::auto_select) {
+      const f64 avg =
+          nsyms ? static_cast<f64>((pb.offsets[c + 1] - pb.offsets[c]) * 8) /
+                      static_cast<f64>(nsyms)
+                : 0.0;
+      t = huffman_select_tier(max_len, avg);
+    }
+    if (t == huffman_tier::single_cached &&
+        max_len > huffman_single_table_bits) {
+      t = huffman_tier::canonical;  // forced tier the book can't support
+    }
+    chunk_tier[c] = static_cast<u8>(t);
+    tier_chunks[static_cast<u8>(t)]++;
   }
-  FZMOD_REQUIRE(offsets[hdr.nchunks] <= blob.size() &&
-                    blob.size() >= meta + offsets[hdr.nchunks],
-                status::corrupt_archive, "huffman: truncated payload");
-  const decode_table table(lens);
 
-  // Pad the payload copy so MSB-window reads never run off the end.
-  std::vector<u8> payload(offsets[hdr.nchunks] + 16, 0);
-  std::memcpy(payload.data(), blob.data() + meta, offsets[hdr.nchunks]);
+  // Build only the cached tables some chunk actually picked.
+  std::optional<single_cached_table> single_tab;
+  std::optional<double_cached_table> double_tab;
+  if (tier_chunks[1] || tier_chunks[2]) {
+    std::vector<u32> codes;
+    std::vector<u8> lens_copy(pb.lens.begin(), pb.lens.end());
+    assign_codes(lens_copy, codes);
+    if (tier_chunks[1]) single_tab.emplace(pb.lens, codes, max_len);
+    if (tier_chunks[2]) double_tab.emplace(pb.lens, codes);
+  }
+
+  // Pad the payload copy so reservoir and window reads never run off the
+  // end (the per-symbol bit_limit check bounds how far the cursor gets).
+  std::vector<u8> payload(pb.offsets[hdr.nchunks] + 16, 0);
+  std::memcpy(payload.data(), blob.data() + pb.payload_off,
+              pb.offsets[hdr.nchunks]);
 
   device::runtime::instance().pool().parallel_for(
       hdr.nchunks, 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
           const u64 beg_sym = c * hdr.chunk;
-          const u64 end_sym =
-              std::min<u64>(hdr.count, beg_sym + hdr.chunk);
-          const u8* src = payload.data() + offsets[c];
+          const u64 end_sym = std::min<u64>(hdr.count, beg_sym + hdr.chunk);
+          const u8* src = payload.data() + pb.offsets[c];
           // A corrupt bitstream must not walk the cursor past this
           // chunk's extent (the +16 padding then covers window reads).
-          const u64 bit_limit = (offsets[c + 1] - offsets[c]) * 8;
-          u64 bitpos = 0;
-          for (u64 i = beg_sym; i < end_sym; ++i) {
-            FZMOD_REQUIRE(bitpos <= bit_limit, status::corrupt_archive,
-                          "huffman: chunk bitstream overrun");
-            // Assemble a 24-bit MSB-first window at bitpos.
-            u64 window = 0;
-            const u64 byte = bitpos >> 3;
-            for (int b = 0; b < 4; ++b) {
-              window = (window << 8) | src[byte + static_cast<u64>(b)];
-            }
-            window = (window >> (8 - (bitpos & 7))) &
-                     ((u64{1} << huffman_max_code_len) - 1);
-            const auto [sym, len] = table.decode(window);
-            out[i] = sym;
-            bitpos += len;
+          const u64 bit_limit = (pb.offsets[c + 1] - pb.offsets[c]) * 8;
+          switch (static_cast<huffman_tier>(chunk_tier[c])) {
+            case huffman_tier::single_cached:
+              decode_chunk_single(*single_tab, src, bit_limit, out, beg_sym,
+                                  end_sym);
+              break;
+            case huffman_tier::double_cached:
+              decode_chunk_double(*double_tab, table, src, bit_limit, out,
+                                  beg_sym, end_sym);
+              break;
+            default:
+              decode_chunk_canonical(table, src, bit_limit, out, beg_sym,
+                                     end_sym);
+              break;
           }
         }
       });
+
+  for (int t = 0; t < 3; ++t) {
+    if (tier_chunks[t]) {
+      g_tier_chunks[t].fetch_add(tier_chunks[t], std::memory_order_relaxed);
+    }
+  }
+  if (trace::enabled()) {
+    const auto totals = huffman_tier_totals();
+    trace::counter("huffman.chunks.canonical",
+                   static_cast<f64>(totals.canonical));
+    trace::counter("huffman.chunks.single",
+                   static_cast<f64>(totals.single_cached));
+    trace::counter("huffman.chunks.double",
+                   static_cast<f64>(totals.double_cached));
+  }
+}
+
+void huffman_decode(std::span<const u8> blob, std::span<u16> out) {
+  huffman_decode(blob, out, env_default_tier());
 }
 
 }  // namespace fzmod::encoders

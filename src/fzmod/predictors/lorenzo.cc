@@ -45,8 +45,9 @@ inline i64 lorenzo_pred(const i32* q, dims3 d, std::size_t x, std::size_t y,
 template <class T>
 void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
                             f64 ebx2, int radius, quant_field& out,
-                            device::stream& s) {
+                            device::stream& s, device::kernel_tier tier) {
   data.assert_space(device::space::device);
+  device::note_kernel_tier_launch(tier);
   FZMOD_REQUIRE(data.size() == dims.len(), status::invalid_argument,
                 "lorenzo: data size does not match dims");
   FZMOD_REQUIRE(ebx2 > 0, status::invalid_argument,
@@ -67,7 +68,37 @@ void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
   // The lattice lives in `out` (reused across calls); `out` must outlive
   // the stream, which the existing `&out` capture below already requires.
   auto vo_mu = std::make_shared<std::mutex>();
-  {
+  if (tier == device::kernel_tier::vector) {
+    // Vector tier: the hot loop is branch-free — every element stores its
+    // index into a staging slot and only out-of-range values advance the
+    // cursor, so the common path is multiply/compare/select with no
+    // data-dependent branch; the rare exact-value gather runs after.
+    const T* in = data.data();
+    i32* q = out.lattice_scratch.data();
+    auto* vo = &out.value_outliers;
+    const f64 r_ebx2 = 1.0 / ebx2;
+    device::launch_blocks(
+        s, n, device::runtime::instance().default_block(),
+        [in, q, vo, vo_mu, r_ebx2](std::size_t, std::size_t lo,
+                                   std::size_t hi) {
+          std::vector<u64> idx(hi - lo + 1);
+          std::size_t cnt = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const f64 scaled = static_cast<f64>(in[i]) * r_ebx2;
+            const bool oob =
+                !(std::fabs(scaled) < static_cast<f64>(value_outlier_limit));
+            idx[cnt] = i;
+            cnt += oob;
+            q[i] = oob ? 0 : static_cast<i32>(std::llrint(scaled));
+          }
+          if (cnt) {
+            std::lock_guard lk(*vo_mu);
+            for (std::size_t j = 0; j < cnt; ++j) {
+              vo->emplace_back(idx[j], static_cast<f64>(in[idx[j]]));
+            }
+          }
+        });
+  } else {
     const T* in = data.data();
     i32* q = out.lattice_scratch.data();
     auto* vo = &out.value_outliers;
@@ -101,7 +132,91 @@ void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
     std::vector<kernels::outlier> all;
   };
   auto coll = std::make_shared<collect_state>();
-  {
+  if (tier == device::kernel_tier::vector) {
+    // Vector tier: row-structured sweep. Interior rows get a specialized
+    // stencil with zero boundary checks in the inner loop (the x==0
+    // element is peeled; first-row/first-plane rows — a vanishing
+    // fraction — fall back to the generic guarded predictor), and code
+    // emission is branch-free with the same staged outlier collection as
+    // the compaction kernel.
+    const i32* q = out.lattice_scratch.data();
+    u16* codes = out.codes.data();
+    const int rank = dims.rank();
+    const std::size_t nrows = dims.y * dims.z;
+    const std::size_t rows_per_block = std::max<std::size_t>(
+        1, device::runtime::instance().default_block() /
+               std::max<std::size_t>(1, dims.x));
+    device::launch_blocks(
+        s, nrows, rows_per_block,
+        [q, codes, dims, radius, rank, coll](std::size_t, std::size_t rlo,
+                                             std::size_t rhi) {
+          std::vector<kernels::outlier> local;
+          std::vector<kernels::outlier> stage(dims.x + 1);
+          const std::size_t sy = dims.x, sz = dims.x * dims.y;
+          for (std::size_t r = rlo; r < rhi; ++r) {
+            const std::size_t y = r % dims.y;
+            const std::size_t z = r / dims.y;
+            const std::size_t base = r * dims.x;
+            std::size_t cnt = 0;
+            const auto emit = [&](std::size_t i, i64 delta) {
+              const i64 code = delta + radius;
+              const bool ok = code > 0 && code < 2 * radius;
+              codes[i] = ok ? static_cast<u16>(code) : u16{0};
+              stage[cnt] = {static_cast<u64>(i), delta};
+              cnt += !ok;
+            };
+            const bool interior = (rank == 1) || (rank == 2 && y > 0) ||
+                                  (rank == 3 && y > 0 && z > 0);
+            if (!interior) {
+              for (std::size_t x = 0; x < dims.x; ++x) {
+                const std::size_t i = base + x;
+                emit(i, static_cast<i64>(q[i]) -
+                            lorenzo_pred(q, dims, x, y, z, rank));
+              }
+            } else if (rank == 1) {
+              emit(base, static_cast<i64>(q[base]));
+              for (std::size_t x = 1; x < dims.x; ++x) {
+                const std::size_t i = base + x;
+                emit(i, static_cast<i64>(q[i]) - static_cast<i64>(q[i - 1]));
+              }
+            } else if (rank == 2) {
+              emit(base, static_cast<i64>(q[base]) -
+                             static_cast<i64>(q[base - sy]));
+              for (std::size_t x = 1; x < dims.x; ++x) {
+                const std::size_t i = base + x;
+                const i64 pred = static_cast<i64>(q[i - 1]) +
+                                 static_cast<i64>(q[i - sy]) -
+                                 static_cast<i64>(q[i - sy - 1]);
+                emit(i, static_cast<i64>(q[i]) - pred);
+              }
+            } else {
+              emit(base, static_cast<i64>(q[base]) -
+                             (static_cast<i64>(q[base - sy]) +
+                              static_cast<i64>(q[base - sz]) -
+                              static_cast<i64>(q[base - sy - sz])));
+              for (std::size_t x = 1; x < dims.x; ++x) {
+                const std::size_t i = base + x;
+                const i64 pred = static_cast<i64>(q[i - 1]) +
+                                 static_cast<i64>(q[i - sy]) +
+                                 static_cast<i64>(q[i - sz]) -
+                                 static_cast<i64>(q[i - sy - 1]) -
+                                 static_cast<i64>(q[i - sy - sz]) -
+                                 static_cast<i64>(q[i - sz - 1]) +
+                                 static_cast<i64>(q[i - sy - sz - 1]);
+                emit(i, static_cast<i64>(q[i]) - pred);
+              }
+            }
+            if (cnt) {
+              local.insert(local.end(), stage.begin(),
+                           stage.begin() + static_cast<std::ptrdiff_t>(cnt));
+            }
+          }
+          if (!local.empty()) {
+            std::lock_guard lk(coll->mu);
+            coll->all.insert(coll->all.end(), local.begin(), local.end());
+          }
+        });
+  } else {
     const i32* q = out.lattice_scratch.data();
     u16* codes = out.codes.data();
     const int rank = dims.rank();
@@ -219,10 +334,12 @@ void lorenzo_decompress_async(const quant_field& field,
 
 template void lorenzo_compress_async<f32>(const device::buffer<f32>&, dims3,
                                           f64, int, quant_field&,
-                                          device::stream&);
+                                          device::stream&,
+                                          device::kernel_tier);
 template void lorenzo_compress_async<f64>(const device::buffer<f64>&, dims3,
                                           f64, int, quant_field&,
-                                          device::stream&);
+                                          device::stream&,
+                                          device::kernel_tier);
 template void lorenzo_decompress_async<f32>(const quant_field&,
                                             device::buffer<f32>&,
                                             device::stream&);

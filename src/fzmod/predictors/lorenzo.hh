@@ -12,6 +12,7 @@
 // everything after the pre-quantization is lossless in integer arithmetic.
 #pragma once
 
+#include "fzmod/device/kernel_tier.hh"
 #include "fzmod/device/runtime.hh"
 #include "fzmod/predictors/quant_field.hh"
 
@@ -19,10 +20,14 @@ namespace fzmod::predictors {
 
 /// Compress `data` (device) into a quant_field. `ebx2` is 2x the resolved
 /// absolute error bound. Asynchronous: complete after `s.sync()`.
+/// `tier` selects the kernel implementation (portable grid-stride loops
+/// vs. branch-free vectorized rows); both tiers produce identical codes
+/// and the same outlier set.
 template <class T>
-void lorenzo_compress_async(const device::buffer<T>& data, dims3 dims,
-                            f64 ebx2, int radius, quant_field& out,
-                            device::stream& s);
+void lorenzo_compress_async(
+    const device::buffer<T>& data, dims3 dims, f64 ebx2, int radius,
+    quant_field& out, device::stream& s,
+    device::kernel_tier tier = device::active_kernel_tier());
 
 /// Reconstruct into `data` (device, presized to field.dims.len()).
 template <class T>

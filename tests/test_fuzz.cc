@@ -25,6 +25,7 @@
 #include "fzmod/core/archive_format.hh"
 #include "fzmod/core/snapshot.hh"
 #include "fzmod/core/stf_pipeline.hh"
+#include "fzmod/encoders/huffman.hh"
 
 namespace fzmod {
 namespace {
@@ -458,6 +459,97 @@ TEST(FuzzLossless, SecondaryWrappedArchives) {
     expect_contained([&] { return fresh.decompress(mutated); });
   }
 }
+
+// ---------------------------------------------------------------------------
+// Decoder-tier fuzz: the cached Huffman fast paths parse the same
+// attacker-controlled blob as the canonical walk, so every tier gets the
+// same bit-flip and truncation treatment — a corrupt chunk must throw
+// (or decode to contained garbage), never read out of bounds or desync.
+
+class FuzzHuffmanTiers
+    : public ::testing::TestWithParam<encoders::huffman_tier> {};
+
+TEST_P(FuzzHuffmanTiers, BitFlipSweepContained) {
+  // Short codes so the single and double LUT paths genuinely engage;
+  // several chunks so the offset table and chunk boundaries are in scope.
+  rng r(910);
+  std::vector<u16> codes(3 * encoders::huffman_chunk + 111);
+  std::vector<u32> hist(64, 0);
+  for (auto& c : codes) {
+    c = static_cast<u16>(r.next_below(64));
+    hist[c]++;
+  }
+  const auto blob = encoders::huffman_encode(codes, hist);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    auto mutated = blob;
+    const std::size_t nflips = 1 + r.next_below(6);
+    for (std::size_t f = 0; f < nflips; ++f) {
+      mutated[r.next_below(mutated.size())] ^=
+          static_cast<u8>(1u << r.next_below(8));
+    }
+    std::vector<u16> out(codes.size());
+    expect_contained([&] {
+      encoders::huffman_decode(mutated, out, GetParam());
+      return 0;
+    });
+  }
+}
+
+TEST_P(FuzzHuffmanTiers, TruncationSweepContained) {
+  rng r(911);
+  std::vector<u16> codes(2 * encoders::huffman_chunk);
+  std::vector<u32> hist(256, 0);
+  for (auto& c : codes) {
+    c = static_cast<u16>(r.next_below(256));
+    hist[c]++;
+  }
+  const auto blob = encoders::huffman_encode(codes, hist);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t keep = r.next_below(blob.size());
+    const std::vector<u8> truncated(blob.begin(),
+                                    blob.begin() + static_cast<long>(keep));
+    std::vector<u16> out(codes.size());
+    expect_contained([&] {
+      encoders::huffman_decode(truncated, out, GetParam());
+      return 0;
+    });
+  }
+}
+
+TEST_P(FuzzHuffmanTiers, StompedLengthsContained) {
+  // The code-length table drives every LUT build; hostile lengths must be
+  // rejected by the Kraft/cap validation, not walk a table OOB.
+  rng r(912);
+  std::vector<u16> codes(encoders::huffman_chunk + 7);
+  std::vector<u32> hist(32, 0);
+  for (auto& c : codes) {
+    c = static_cast<u16>(r.next_below(32));
+    hist[c]++;
+  }
+  const auto blob = encoders::huffman_encode(codes, hist);
+  constexpr std::size_t lens_off = 24;  // blob_header is 24 bytes
+  for (int trial = 0; trial < 150; ++trial) {
+    auto mutated = blob;
+    const std::size_t k = 1 + r.next_below(8);
+    for (std::size_t j = 0; j < k; ++j) {
+      mutated[lens_off + r.next_below(32)] = static_cast<u8>(r.next_u64());
+    }
+    std::vector<u16> out(codes.size());
+    expect_contained([&] {
+      encoders::huffman_decode(mutated, out, GetParam());
+      return 0;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiers, FuzzHuffmanTiers,
+    ::testing::Values(encoders::huffman_tier::canonical,
+                      encoders::huffman_tier::single_cached,
+                      encoders::huffman_tier::double_cached,
+                      encoders::huffman_tier::auto_select),
+    [](const auto& info) { return encoders::to_string(info.param); });
 
 }  // namespace
 }  // namespace fzmod

@@ -1,6 +1,7 @@
 // Unit + property tests: Lorenzo predictor with dual quantization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -232,6 +233,87 @@ TEST(Lorenzo, RejectsNonPositiveEb) {
   EXPECT_THROW(
       lorenzo_compress_async(dev, dims3(10), 0.0, default_radius, field, s),
       error);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel tiers: vector and portable must produce identical quant fields
+// (codes bit-identical, same outlier sets), so archives are tier-invariant.
+
+void expect_tiers_identical(const std::vector<f32>& v, dims3 dims, f64 eb) {
+  auto dev = to_device(v);
+  device::stream s;
+  quant_field portable, vector;
+  lorenzo_compress_async(dev, dims, 2 * eb, default_radius, portable, s,
+                         device::kernel_tier::portable);
+  s.sync();
+  lorenzo_compress_async(dev, dims, 2 * eb, default_radius, vector, s,
+                         device::kernel_tier::vector);
+  s.sync();
+
+  ASSERT_EQ(portable.n_outliers, vector.n_outliers);
+  for (std::size_t i = 0; i < dims.len(); ++i) {
+    ASSERT_EQ(portable.codes.data()[i], vector.codes.data()[i]) << "at " << i;
+  }
+  // Outlier order depends on block scheduling in both tiers; compare as
+  // sorted sets.
+  const auto sorted_outliers = [](const quant_field& f) {
+    std::vector<std::pair<u64, i64>> o(f.n_outliers);
+    for (std::size_t k = 0; k < f.n_outliers; ++k) {
+      o[k] = {f.outliers.data()[k].index, f.outliers.data()[k].value};
+    }
+    std::sort(o.begin(), o.end());
+    return o;
+  };
+  ASSERT_EQ(sorted_outliers(portable), sorted_outliers(vector));
+  auto vo_a = portable.value_outliers;
+  auto vo_b = vector.value_outliers;
+  std::sort(vo_a.begin(), vo_a.end());
+  std::sort(vo_b.begin(), vo_b.end());
+  ASSERT_EQ(vo_a, vo_b);
+
+  // And the vector-tier field reconstructs within bound.
+  device::buffer<f32> rec(dims.len(), device::space::device);
+  lorenzo_decompress_async(vector, rec, s);
+  s.sync();
+  std::vector<f32> out(dims.len());
+  std::memcpy(out.data(), rec.data(), rec.bytes());
+  expect_bounded(v, out, eb);
+}
+
+TEST(LorenzoTiers, Identical1D) {
+  rng r(60);
+  std::vector<f32> v(10007);
+  f64 acc = 0;
+  for (auto& x : v) {
+    acc += r.normal();
+    x = static_cast<f32>(acc);
+  }
+  expect_tiers_identical(v, dims3(v.size()), 1e-3);
+}
+
+TEST(LorenzoTiers, Identical2D) {
+  const dims3 d{101, 97};
+  std::vector<f32> v(d.len());
+  rng r(61);
+  for (std::size_t y = 0; y < d.y; ++y) {
+    for (std::size_t x = 0; x < d.x; ++x) {
+      v[d.at(x, y, 0)] = static_cast<f32>(
+          std::sin(0.05 * x) * std::cos(0.07 * y) * 50 + r.normal());
+    }
+  }
+  expect_tiers_identical(v, d, 1e-4);
+}
+
+TEST(LorenzoTiers, Identical3DWithValueOutliers) {
+  const dims3 d{37, 29, 11};
+  std::vector<f32> v(d.len());
+  rng r(62);
+  for (auto& x : v) x = static_cast<f32>(r.normal() * 8.0);
+  // Rough data at a tight bound: plenty of code outliers; plus two
+  // explicit value outliers beyond the lattice range.
+  v[100] = 3.0e38f;
+  v[d.len() - 1] = -3.0e38f;
+  expect_tiers_identical(v, d, 1e-6);
 }
 
 }  // namespace

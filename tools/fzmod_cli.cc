@@ -47,6 +47,7 @@ using namespace fzmod;
                " [--predictor P] [--codec C] [--secondary]\n"
                "                   [--auto balanced|throughput|ratio|"
                "quality]\n"
+               "                   [--kernel-tier auto|portable|vector]\n"
                "                   [--chunk-mb N] [--jobs N]  (chunk-parallel"
                " v3 container)\n"
                "                   [--trace OUT.json] [--trace-dot OUT.dot]"
@@ -145,6 +146,9 @@ core::pipeline_config build_config(const args& a, std::span<const f32> data,
   if (a.has("--predictor")) cfg.predictor = a.get("--predictor");
   if (a.has("--codec")) cfg.codec = a.get("--codec");
   if (a.has("--secondary")) cfg.secondary = true;
+  if (a.has("--kernel-tier")) {
+    cfg.kernel_tier = device::parse_kernel_tier_policy(a.get("--kernel-tier"));
+  }
   return cfg;
 }
 
