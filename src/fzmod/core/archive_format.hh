@@ -440,6 +440,32 @@ static_assert(sizeof(chunk_header_v3) == 56 && sizeof(chunk_dir_entry) == 40,
   return magic == chunk_magic_v3;
 }
 
+/// Validate that a chunk directory tiles the field contiguously in raw
+/// order and tiles a `payload_bytes`-sized payload contiguously — any
+/// gap, overlap, or overrun is corruption. Factored out of
+/// parse_chunk_container so a directory imported from a `.fzx` sidecar
+/// index gets the exact same structural screening: a forged index entry
+/// can never produce an out-of-bounds chunk_archive() slice.
+inline void validate_chunk_directory(std::span<const chunk_dir_entry> entries,
+                                     u64 field_len, u64 payload_bytes) {
+  u64 raw_at = 0, arch_at = 0;
+  for (const chunk_dir_entry& e : entries) {
+    FZMOD_REQUIRE(e.raw_offset == raw_at && e.raw_len >= 1 &&
+                      e.raw_len <= field_len - raw_at,
+                  status::corrupt_archive,
+                  "chunk container: directory does not tile the field");
+    FZMOD_REQUIRE(e.archive_offset == arch_at &&
+                      e.archive_bytes <= payload_bytes - arch_at,
+                  status::corrupt_archive,
+                  "chunk container: directory does not tile the payload");
+    raw_at += e.raw_len;
+    arch_at += e.archive_bytes;
+  }
+  FZMOD_REQUIRE(raw_at == field_len && arch_at == payload_bytes,
+                status::corrupt_archive,
+                "chunk container: directory leaves a tail uncovered");
+}
+
 /// Parsed container: header, directory, and the payload region the
 /// directory's archive offsets index into.
 struct chunk_container_view {
@@ -497,22 +523,7 @@ struct chunk_container_view {
   }
   cv.entries.resize(cv.hdr.nchunks);
   std::memcpy(cv.entries.data(), dir.data(), dir_bytes);
-  u64 raw_at = 0, arch_at = 0;
-  for (const chunk_dir_entry& e : cv.entries) {
-    FZMOD_REQUIRE(e.raw_offset == raw_at && e.raw_len >= 1 &&
-                      e.raw_len <= n - raw_at,
-                  status::corrupt_archive,
-                  "chunk container: directory does not tile the field");
-    FZMOD_REQUIRE(e.archive_offset == arch_at &&
-                      e.archive_bytes <= cv.payload.size() - arch_at,
-                  status::corrupt_archive,
-                  "chunk container: directory does not tile the payload");
-    raw_at += e.raw_len;
-    arch_at += e.archive_bytes;
-  }
-  FZMOD_REQUIRE(raw_at == n && arch_at == cv.payload.size(),
-                status::corrupt_archive,
-                "chunk container: directory leaves a tail uncovered");
+  validate_chunk_directory(cv.entries, n, cv.payload.size());
   return cv;
 }
 
@@ -533,6 +544,115 @@ struct chunk_container_view {
                                           const chunk_dir_entry& e) {
   if (!verify_enabled()) return true;
   return kernels::chunked_hash(chunk_archive(cv, e)) == e.digest;
+}
+
+// --- .fzx sidecar index ----------------------------------------------------
+//
+// An exportable copy of a v3 container's chunk directory, indexed_bzip2
+// style: reopening a huge archive imports the sidecar and skips the
+// trailing-directory scan entirely. Layout (docs/FORMAT.md is normative):
+//   fzx := fzx_header | nchunks x chunk_dir_entry | u64 self_digest
+// The header binds the index to one exact container: `container_bytes` +
+// `container_digest` (chunked_hash of the whole container) detect a stale
+// or swapped container; `self_digest` (hash of everything before it)
+// detects sidecar damage. A mismatch anywhere must degrade to a normal
+// directory scan — never a crash, never silently-wrong reads.
+
+inline constexpr u32 fzx_magic = 0x465a5831;  // "FZX1"
+inline constexpr u16 fzx_index_version = 1;
+
+#pragma pack(push, 1)
+/// Fixed-size sidecar header (64 bytes). Mirrors chunk_header_v3's field
+/// identity (type/dims/nchunks/chunk_elems) so an index/container pairing
+/// is checkable without hashing anything.
+struct fzx_header {
+  u32 magic;          // fzx_magic
+  u16 version;        // fzx_index_version
+  u8 type;            // dtype of the field
+  u8 pad;             // must be zero
+  u64 dims[3];        // full-field extents
+  u64 nchunks;        // directory entry count
+  u64 chunk_elems;    // nominal elements per chunk
+  u64 container_bytes;   // exact size of the container this index describes
+  u64 container_digest;  // chunked_hash of the whole container
+};
+#pragma pack(pop)
+
+static_assert(sizeof(fzx_header) == 64,
+              "fzx sidecar layout must stay byte-stable");
+
+/// Parsed sidecar index.
+struct fzx_view {
+  fzx_header hdr{};
+  dims3 dims;
+  std::vector<chunk_dir_entry> entries;
+};
+
+/// Serialize a sidecar index for a parsed container. `container_bytes` /
+/// `container_digest` describe the exact container bytes the directory
+/// came from.
+[[nodiscard]] inline std::vector<u8> build_index(
+    const chunk_container_view& cv, u64 container_bytes,
+    u64 container_digest) {
+  fzx_header h{};
+  h.magic = fzx_magic;
+  h.version = fzx_index_version;
+  h.type = cv.hdr.type;
+  h.pad = 0;
+  h.dims[0] = cv.hdr.dims[0];
+  h.dims[1] = cv.hdr.dims[1];
+  h.dims[2] = cv.hdr.dims[2];
+  h.nchunks = cv.hdr.nchunks;
+  h.chunk_elems = cv.hdr.chunk_elems;
+  h.container_bytes = container_bytes;
+  h.container_digest = container_digest;
+  std::vector<u8> out(sizeof(h) +
+                      cv.entries.size() * sizeof(chunk_dir_entry) +
+                      sizeof(u64));
+  std::memcpy(out.data(), &h, sizeof(h));
+  std::memcpy(out.data() + sizeof(h), cv.entries.data(),
+              cv.entries.size() * sizeof(chunk_dir_entry));
+  const u64 self = kernels::chunked_hash(
+      std::span<const u8>(out.data(), out.size() - sizeof(u64)));
+  std::memcpy(out.data() + out.size() - sizeof(u64), &self, sizeof(self));
+  return out;
+}
+
+/// Parse + structurally validate a sidecar index in isolation (magic,
+/// version, dims, entry-count geometry, self-digest — always checked; the
+/// sidecar exists to be cheap). Pairing it with a concrete container
+/// (digest + directory tiling) is the reader's job, because only the
+/// reader knows the container bytes.
+[[nodiscard]] inline fzx_view parse_index(std::span<const u8> index) {
+  FZMOD_REQUIRE(index.size() >= sizeof(fzx_header) + sizeof(u64),
+                status::corrupt_archive, "fzx index too small");
+  fzx_view fv;
+  std::memcpy(&fv.hdr, index.data(), sizeof(fv.hdr));
+  FZMOD_REQUIRE(fv.hdr.magic == fzx_magic &&
+                    fv.hdr.version == fzx_index_version,
+                status::corrupt_archive, "bad fzx index header");
+  FZMOD_REQUIRE(fv.hdr.pad == 0, status::corrupt_archive,
+                "fzx index: nonzero padding");
+  fv.dims = dims3{fv.hdr.dims[0], fv.hdr.dims[1], fv.hdr.dims[2]};
+  FZMOD_REQUIRE(!fv.dims.len_invalid(), status::corrupt_archive,
+                "fzx index dims out of supported range");
+  FZMOD_REQUIRE(fv.hdr.nchunks >= 1 && fv.hdr.nchunks <= fv.dims.len(),
+                status::corrupt_archive,
+                "fzx index: implausible chunk count");
+  const u64 dir_bytes = fv.hdr.nchunks * sizeof(chunk_dir_entry);
+  FZMOD_REQUIRE(index.size() == sizeof(fzx_header) + dir_bytes + sizeof(u64),
+                status::corrupt_archive,
+                "fzx index: size does not match its chunk count");
+  u64 self = 0;
+  std::memcpy(&self, index.data() + index.size() - sizeof(u64),
+              sizeof(self));
+  FZMOD_REQUIRE(kernels::chunked_hash(index.first(index.size() -
+                                                  sizeof(u64))) == self,
+                status::corrupt_archive, "fzx index: self digest mismatch");
+  fv.entries.resize(fv.hdr.nchunks);
+  std::memcpy(fv.entries.data(), index.data() + sizeof(fzx_header),
+              dir_bytes);
+  return fv;
 }
 
 // --- varint / outlier unpacking (continued) -------------------------------

@@ -5,12 +5,12 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <thread>
 
+#include "fzmod/common/env.hh"
 #include "fzmod/kernels/chunked_hash.hh"
 #include "fzmod/trace/trace.hh"
 
@@ -27,15 +27,6 @@ dtype dtype_of<f32>() {
 template <>
 dtype dtype_of<f64>() {
   return dtype::f64;
-}
-
-[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  char* end = nullptr;
-  const unsigned long long x = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0') return fallback;
-  return static_cast<std::size_t>(x);
 }
 
 void append_bytes(std::vector<u8>& out, const void* p, std::size_t n) {
@@ -120,13 +111,17 @@ void decode_chunks(const fmt::chunk_container_view& cv,
 
 std::size_t chunked_options::resolve_chunk_elems(std::size_t elem_size) const {
   if (chunk_elems) return chunk_elems;
-  std::size_t mb = chunk_mb ? chunk_mb : env_size("FZMOD_CHUNK_MB", 16);
+  std::size_t mb = chunk_mb ? chunk_mb
+                            : static_cast<std::size_t>(
+                                  common::env_u64("FZMOD_CHUNK_MB", 16));
   if (mb == 0) mb = 16;
   return std::max<std::size_t>(1, mb * (std::size_t{1} << 20) / elem_size);
 }
 
 unsigned chunked_options::resolve_jobs() const {
-  std::size_t j = jobs ? jobs : env_size("FZMOD_JOBS", 4);
+  std::size_t j = jobs ? jobs
+                       : static_cast<std::size_t>(
+                             common::env_u64("FZMOD_JOBS", 4));
   if (j == 0) j = 1;
   return static_cast<unsigned>(std::min<std::size_t>(j, 64));
 }
@@ -419,12 +414,14 @@ template <class T>
 std::vector<T> chunked_pipeline<T>::decompress_range(
     std::span<const u8> archive, u64 elem_offset, u64 elem_count) {
   if (!fmt::is_chunk_container(archive)) {
+    // Validate against the header's declared dims before decoding: the
+    // whole-field decode is the expensive part, and a decode failure must
+    // not shadow a bad-range diagnosis.
+    const archive_info ai = inspect_archive(archive);
+    require_range(elem_offset, elem_count, ai.dims.len(),
+                  "decompress_range");
     pipeline<T> pipe(cfg_);
     const std::vector<T> full = pipe.decompress(archive);
-    FZMOD_REQUIRE(elem_offset <= full.size() &&
-                      elem_count <= full.size() - elem_offset,
-                  status::invalid_argument,
-                  "decompress_range: range outside the field");
     return std::vector<T>(full.begin() + elem_offset,
                           full.begin() + elem_offset + elem_count);
   }
@@ -432,12 +429,8 @@ std::vector<T> chunked_pipeline<T>::decompress_range(
   FZMOD_REQUIRE(cv.hdr.type == static_cast<u8>(dtype_of<T>()),
                 status::invalid_argument,
                 "chunk container holds a different dtype");
-  const u64 n = cv.dims.len();
-  FZMOD_REQUIRE(elem_offset <= n && elem_count <= n - elem_offset,
-                status::invalid_argument,
-                "decompress_range: range outside the field");
+  require_range(elem_offset, elem_count, cv.dims.len(), "decompress_range");
   std::vector<T> out(elem_count);
-  if (elem_count == 0) return out;
 
   // Entries are sorted by raw_offset (parse enforces contiguous tiling);
   // the covering chunks are a contiguous directory run.

@@ -86,6 +86,34 @@ struct chunked_info {
 
 [[nodiscard]] chunked_info inspect_chunked(std::span<const u8> archive);
 
+/// Element-range validation shared by decompress_range and the seekable
+/// reader. Runs BEFORE any decode work: a malformed request must fail as
+/// invalid_argument with the numbers in the message — never cost a decode
+/// first, and never get masked by a corruption error from a chunk the
+/// request should not have touched. Zero-length ranges are rejected (a
+/// serving read of nothing is a caller bug), as is an offset at or past
+/// the field end. The subtraction form of the end check is immune to
+/// elem_offset + elem_count wrapping u64.
+inline void require_range(u64 elem_offset, u64 elem_count, u64 field_len,
+                          const char* who) {
+  FZMOD_REQUIRE(elem_count >= 1, status::invalid_argument,
+                std::string(who) + ": zero-length range at offset " +
+                    std::to_string(elem_offset));
+  FZMOD_REQUIRE(elem_offset < field_len, status::invalid_argument,
+                std::string(who) + ": offset " +
+                    std::to_string(elem_offset) +
+                    " is at or past the field end (" +
+                    std::to_string(field_len) + " elements)");
+  FZMOD_REQUIRE(elem_count <= field_len - elem_offset,
+                status::invalid_argument,
+                std::string(who) + ": range [" +
+                    std::to_string(elem_offset) + ", " +
+                    std::to_string(elem_offset) + "+" +
+                    std::to_string(elem_count) +
+                    ") overruns the field (" + std::to_string(field_len) +
+                    " elements)");
+}
+
 /// verify_archive's container analogue: per-chunk digest + inner report.
 struct chunk_verify_entry {
   u64 index = 0;

@@ -1,0 +1,712 @@
+// FZModules — seekable reader implementation. See reader.hh for the model:
+// one directory parse per open (container scan or imported .fzx sidecar),
+// an LRU cache of decoded chunks under a byte budget, and an N-way
+// stride prefetcher feeding a bounded worker pool. All shared state lives
+// under one mutex; decoded chunks publish as immutable shared_ptrs, so
+// copies out of the cache run outside the lock.
+
+#include "fzmod/core/reader.hh"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "fzmod/common/env.hh"
+#include "fzmod/data/io.hh"
+#include "fzmod/kernels/chunked_hash.hh"
+#include "fzmod/trace/trace.hh"
+
+namespace fzmod::core {
+
+namespace {
+
+template <class T>
+[[nodiscard]] dtype dtype_of();
+template <>
+dtype dtype_of<f32>() {
+  return dtype::f32;
+}
+template <>
+dtype dtype_of<f64>() {
+  return dtype::f64;
+}
+
+}  // namespace
+
+std::size_t reader_options::resolve_cache_bytes() const {
+  if (cache_bytes) return cache_bytes;
+  std::size_t mb =
+      cache_mb ? cache_mb
+               : static_cast<std::size_t>(
+                     common::env_u64("FZMOD_READER_CACHE_MB", 256));
+  if (mb == 0) mb = 1;
+  return mb << 20;
+}
+
+unsigned reader_options::resolve_prefetch() const {
+  const u64 ways =
+      prefetch >= 0 ? static_cast<u64>(prefetch)
+                    : common::env_u64("FZMOD_READER_PREFETCH", 2);
+  return static_cast<unsigned>(std::min<u64>(ways, 64));
+}
+
+unsigned reader_options::resolve_jobs() const {
+  std::size_t j = jobs ? jobs
+                       : static_cast<std::size_t>(
+                             common::env_u64("FZMOD_JOBS", 4));
+  if (j == 0) j = 1;
+  return static_cast<unsigned>(std::min<std::size_t>(j, 64));
+}
+
+template <class T>
+struct reader<T>::impl {
+  // --- immutable after open ------------------------------------------------
+  pipeline_config cfg;
+  std::size_t cache_budget = 0;
+  unsigned ways = 0;
+  unsigned njobs = 1;
+  byte_source fetch;        // unified byte access (span, file, or stream)
+  u64 total_bytes = 0;      // container size
+  std::vector<u8> owned;    // backing storage for file opens
+  bool plain = false;       // v1/v2 archive: one implicit chunk, no digest
+  dims3 fdims;
+  u64 n = 0;                // field elements
+  u64 payload_off = 0;      // byte offset of the chunk payload region
+  fmt::chunk_header_v3 chdr{};
+  std::vector<fmt::chunk_dir_entry> entries;
+
+  // --- shared state (everything below lives under `mu`) --------------------
+  struct entry {
+    std::shared_ptr<const std::vector<T>> data;  // null while decoding
+    std::exception_ptr err;   // sticky decode failure
+    bool ready = false;
+    bool speculative = false;  // prefetched, not yet consumed by a read
+    unsigned pinned = 0;       // reads waiting on it (blocks eviction)
+    bool in_lru = false;
+    std::list<std::size_t>::iterator lru_it{};
+  };
+
+  std::mutex mu;
+  std::condition_variable cv_ready;  // an entry became ready
+  std::condition_variable cv_work;   // a queue became nonempty / shutdown
+  std::unordered_map<std::size_t, entry> cache;
+  std::list<std::size_t> lru;  // front = most recently used
+  std::size_t cached_bytes = 0;
+  std::deque<std::size_t> demand_q;    // served first
+  std::deque<std::size_t> prefetch_q;  // speculation, served when idle
+  bool shutdown = false;
+  reader_stats st;
+  bool have_prev = false;     // stride predictor state
+  std::size_t prev_first = 0;
+  i64 last_delta = 0;
+
+  std::vector<std::thread> workers;
+
+  ~impl() {
+    {
+      std::lock_guard lk(mu);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  // --- open ----------------------------------------------------------------
+
+  void open(std::span<const u8> index, const reader_options& opt) {
+    cache_budget = opt.resolve_cache_bytes();
+    ways = opt.resolve_prefetch();
+    njobs = opt.resolve_jobs();
+    // Resolve module names up front so a bad config throws here, not on a
+    // worker thread mid-read (same contract as chunked_pipeline).
+    pipeline<T> probe(cfg);
+    (void)probe;
+
+    FZMOD_REQUIRE(total_bytes >= sizeof(u32), status::corrupt_archive,
+                  "reader: archive too small");
+    u32 magic = 0;
+    fetch(reinterpret_cast<u8*>(&magic), 0, sizeof(magic));
+    if (magic == fmt::chunk_magic_v3) {
+      open_container(index, opt);
+    } else {
+      open_plain();
+    }
+    workers.reserve(njobs);
+    for (unsigned w = 0; w < njobs; ++w) {
+      workers.emplace_back([this] { worker(); });
+    }
+  }
+
+  /// v3 container open: validate the 56-byte header, then source the
+  /// directory from the sidecar index (when given and it checks out
+  /// against this exact container) or from the trailing directory scan.
+  void open_container(std::span<const u8> index,
+                      const reader_options& opt) {
+    FZMOD_REQUIRE(total_bytes >= sizeof(fmt::chunk_header_v3),
+                  status::corrupt_archive, "chunk container too small");
+    fetch(reinterpret_cast<u8*>(&chdr), 0, sizeof(chdr));
+    FZMOD_REQUIRE(chdr.magic == fmt::chunk_magic_v3 &&
+                      chdr.version == fmt::chunk_container_version,
+                  status::corrupt_archive, "bad chunk container header");
+    FZMOD_REQUIRE(chdr.pad == 0, status::corrupt_archive,
+                  "chunk container: nonzero padding");
+    if (fmt::verify_enabled()) {
+      FZMOD_REQUIRE(fmt::chunk_header_digest(chdr) == chdr.digest_header,
+                    status::corrupt_archive,
+                    "chunk container: header digest mismatch");
+    }
+    fdims = dims3{chdr.dims[0], chdr.dims[1], chdr.dims[2]};
+    FZMOD_REQUIRE(!fdims.len_invalid(), status::corrupt_archive,
+                  "chunk container dims out of supported range");
+    FZMOD_REQUIRE(chdr.type == static_cast<u8>(dtype_of<T>()),
+                  status::invalid_argument,
+                  "reader: chunk container holds a different dtype");
+    n = fdims.len();
+    FZMOD_REQUIRE(chdr.nchunks >= 1 && chdr.nchunks <= n,
+                  status::corrupt_archive,
+                  "chunk container: implausible chunk count");
+    const u64 dir_bytes = chdr.nchunks * sizeof(fmt::chunk_dir_entry);
+    FZMOD_REQUIRE(total_bytes >= sizeof(fmt::chunk_header_v3) + dir_bytes +
+                                     sizeof(u64),
+                  status::corrupt_archive,
+                  "chunk container: directory truncated");
+    payload_off = sizeof(fmt::chunk_header_v3);
+    const u64 payload_bytes =
+        total_bytes - payload_off - dir_bytes - sizeof(u64);
+
+    if (!index.empty()) {
+      // Any fzmod::error while vetting the index — damaged sidecar, a
+      // container that has since been rewritten, a forged directory —
+      // degrades to the scan below. Never a crash, never trusted blindly.
+      try {
+        import_index(index, payload_bytes, opt);
+        st.index_used = true;
+        trace::instant("reader", "open.index");
+        return;
+      } catch (const error&) {
+        trace::instant("reader", "index.rejected");
+      }
+    }
+    scan_directory(dir_bytes, payload_bytes);
+    trace::instant("reader", "open.dirscan");
+  }
+
+  /// Vet a sidecar index against this container: identity fields, exact
+  /// container size, whole-container digest (the stale detector; gated by
+  /// check_index_digest), and full structural screening of the imported
+  /// directory — a forged entry must not be able to slice out of bounds.
+  void import_index(std::span<const u8> index, u64 payload_bytes,
+                    const reader_options& opt) {
+    const fmt::fzx_view fv = fmt::parse_index(index);
+    FZMOD_REQUIRE(fv.hdr.type == chdr.type &&
+                      fv.hdr.dims[0] == chdr.dims[0] &&
+                      fv.hdr.dims[1] == chdr.dims[1] &&
+                      fv.hdr.dims[2] == chdr.dims[2] &&
+                      fv.hdr.nchunks == chdr.nchunks &&
+                      fv.hdr.chunk_elems == chdr.chunk_elems,
+                  status::corrupt_archive,
+                  "fzx index: field identity does not match the container");
+    FZMOD_REQUIRE(fv.hdr.container_bytes == total_bytes,
+                  status::corrupt_archive,
+                  "fzx index: container size mismatch (stale index)");
+    if (opt.check_index_digest) {
+      FZMOD_REQUIRE(container_digest() == fv.hdr.container_digest,
+                    status::corrupt_archive,
+                    "fzx index: container digest mismatch (stale index)");
+    }
+    fmt::validate_chunk_directory(fv.entries, n, payload_bytes);
+    entries = fv.entries;
+  }
+
+  void scan_directory(u64 dir_bytes, u64 payload_bytes) {
+    std::vector<u8> dir(static_cast<std::size_t>(dir_bytes) + sizeof(u64));
+    fetch(dir.data(), total_bytes - dir.size(), dir.size());
+    if (fmt::verify_enabled()) {
+      u64 dir_digest = 0;
+      std::memcpy(&dir_digest, dir.data() + dir_bytes, sizeof(dir_digest));
+      FZMOD_REQUIRE(
+          kernels::chunked_hash(std::span<const u8>(dir.data(),
+                                                    dir_bytes)) ==
+              dir_digest,
+          status::corrupt_archive,
+          "chunk container: directory digest mismatch");
+    }
+    entries.resize(chdr.nchunks);
+    std::memcpy(entries.data(), dir.data(), dir_bytes);
+    fmt::validate_chunk_directory(entries, n, payload_bytes);
+  }
+
+  /// v1/v2 archive: the whole archive is one implicit chunk. Streaming
+  /// sources are materialized (plain archives are not the huge-container
+  /// case the streaming open exists for).
+  void open_plain() {
+    std::vector<u8> buf;
+    std::span<const u8> whole;
+    if (owned.size() == total_bytes) {
+      whole = owned;
+    } else {
+      buf.resize(static_cast<std::size_t>(total_bytes));
+      fetch(buf.data(), 0, buf.size());
+      whole = buf;
+    }
+    const archive_info ai = inspect_archive(whole);
+    FZMOD_REQUIRE(ai.type == dtype_of<T>(), status::invalid_argument,
+                  "reader: archive holds a different dtype");
+    plain = true;
+    fdims = ai.dims;
+    n = fdims.len();
+    payload_off = 0;
+    fmt::chunk_dir_entry e{};
+    e.raw_offset = 0;
+    e.raw_len = n;
+    e.archive_offset = 0;
+    e.archive_bytes = total_bytes;
+    e.digest = 0;  // the inner archive carries its own digests
+    entries.push_back(e);
+  }
+
+  [[nodiscard]] u64 container_digest() const {
+    return kernels::chunked_hash_stream(
+        total_bytes,
+        [this](u8* dst, u64 off, std::size_t len) { fetch(dst, off, len); });
+  }
+
+  // --- cache machinery (all *_locked methods require `mu`) -----------------
+
+  [[nodiscard]] std::size_t find_chunk(u64 elem) const {
+    std::size_t at = 0;
+    // Entries tile the field contiguously; binary search the run start.
+    std::size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (entries[mid].raw_offset + entries[mid].raw_len <= elem) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    at = lo;
+    return at;
+  }
+
+  /// Record interest in a chunk. Demand requests pin the entry (the
+  /// caller must wait_locked or unpin it) and count hit/miss; speculative
+  /// requests only enqueue if the chunk is absent.
+  void request_locked(std::size_t id, bool demand) {
+    auto it = cache.find(id);
+    if (it != cache.end()) {
+      entry& e = it->second;
+      if (demand) {
+        ++st.hits;
+        ++e.pinned;
+        if (e.speculative) {
+          e.speculative = false;
+          ++st.prefetch_used;
+        }
+        if (e.in_lru) lru.splice(lru.begin(), lru, e.lru_it);
+      }
+      return;
+    }
+    if (!demand) {
+      entry e;
+      e.speculative = true;
+      cache.emplace(id, std::move(e));
+      prefetch_q.push_back(id);
+      ++st.prefetch_issued;
+      return;
+    }
+    ++st.misses;
+    entry e;
+    e.pinned = 1;
+    cache.emplace(id, std::move(e));
+    demand_q.push_back(id);
+  }
+
+  /// Stride predictor: speculate only on a confirmed pattern (two equal
+  /// consecutive first-chunk deltas), plus plain sequential-ahead on the
+  /// very first read — random access then costs nothing, scans prefetch
+  /// from the second read onward.
+  void issue_prefetch_locked(std::size_t first, std::size_t last) {
+    if (ways == 0 || entries.size() <= 1) return;
+    i64 step = 0;
+    if (!have_prev) {
+      step = 1;
+    } else {
+      const i64 d = static_cast<i64>(first) - static_cast<i64>(prev_first);
+      if (d != 0 && d == last_delta) step = d;
+      last_delta = d;
+    }
+    have_prev = true;
+    prev_first = first;
+    if (step == 0) return;
+    if (step == static_cast<i64>(last - first)) {
+      // Contiguous forward scan: the next reads touch every chunk past
+      // the current run, so speculate densely.
+      for (unsigned k = 0; k < ways; ++k) {
+        const std::size_t t = last + k;
+        if (t >= entries.size()) break;
+        request_locked(t, /*demand=*/false);
+      }
+    } else {
+      // Strided access: speculate on the predicted first chunks of the
+      // next reads (forward or backward).
+      for (unsigned k = 1; k <= ways; ++k) {
+        const i64 t = static_cast<i64>(first) + static_cast<i64>(k) * step;
+        if (t < 0 || t >= static_cast<i64>(entries.size())) break;
+        request_locked(static_cast<std::size_t>(t), /*demand=*/false);
+      }
+    }
+  }
+
+  /// Wait for a demand-requested chunk, unpin it, and hand back its data.
+  /// Sticky decode failures rethrow here (and on every retry).
+  [[nodiscard]] std::shared_ptr<const std::vector<T>> wait_locked(
+      std::unique_lock<std::mutex>& lk, std::size_t id) {
+    cv_ready.wait(lk, [&] {
+      auto it = cache.find(id);
+      return it != cache.end() && it->second.ready;
+    });
+    entry& e = cache.find(id)->second;
+    if (e.pinned) --e.pinned;
+    if (e.err) std::rethrow_exception(e.err);
+    return e.data;
+  }
+
+  void unpin_locked(std::size_t id) {
+    auto it = cache.find(id);
+    if (it != cache.end() && it->second.pinned) --it->second.pinned;
+  }
+
+  /// Drop least-recently-used chunks until the budget holds. Pinned
+  /// entries (a read is between request and copy) are skipped; evicting a
+  /// never-consumed speculative chunk counts as wasted prefetch.
+  void evict_locked() {
+    while (cached_bytes > cache_budget && !lru.empty()) {
+      auto it = std::prev(lru.end());
+      while (cache.find(*it)->second.pinned) {
+        if (it == lru.begin()) return;  // everything pinned: over budget
+        --it;
+      }
+      const std::size_t id = *it;
+      entry& e = cache.find(id)->second;
+      cached_bytes -= e.data->size() * sizeof(T);
+      ++st.evictions;
+      if (e.speculative) ++st.prefetch_wasted;
+      lru.erase(it);
+      cache.erase(id);
+    }
+  }
+
+  void sample_counters_locked() {
+    if (!trace::enabled()) return;
+    trace::counter("reader.cache.hit", static_cast<f64>(st.hits));
+    trace::counter("reader.cache.miss", static_cast<f64>(st.misses));
+    trace::counter("reader.cache.evict", static_cast<f64>(st.evictions));
+    trace::counter("reader.prefetch.issued",
+                   static_cast<f64>(st.prefetch_issued));
+    trace::counter("reader.prefetch.used",
+                   static_cast<f64>(st.prefetch_used));
+    trace::counter("reader.prefetch.wasted",
+                   static_cast<f64>(st.prefetch_wasted));
+  }
+
+  // --- decode workers ------------------------------------------------------
+
+  void worker() {
+    // Per-slot working set, chunk-scheduler shape: the stream is declared
+    // last so it drains before the slot's buffers free on unwind.
+    device::buffer<T> dev;
+    std::vector<u8> scratch;
+    pipeline<T> pipe(cfg);
+    device::stream s;
+    std::unique_lock lk(mu);
+    for (;;) {
+      cv_work.wait(lk, [&] {
+        return shutdown || !demand_q.empty() || !prefetch_q.empty();
+      });
+      if (shutdown) break;
+      std::size_t id;
+      if (!demand_q.empty()) {
+        id = demand_q.front();
+        demand_q.pop_front();
+      } else {
+        id = prefetch_q.front();
+        prefetch_q.pop_front();
+      }
+      auto it = cache.find(id);
+      if (it == cache.end() || it->second.ready) continue;
+      lk.unlock();
+      std::shared_ptr<std::vector<T>> data;
+      std::exception_ptr err;
+      const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
+      try {
+        data = decode_one(id, dev, scratch, pipe, s);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (t0) {
+        trace::complete("reader", "decode#" + std::to_string(id), t0,
+                        trace::now_ns() - t0, 0,
+                        static_cast<f64>(entries[id].raw_len));
+      }
+      lk.lock();
+      it = cache.find(id);
+      if (it == cache.end()) continue;  // cancelled while decoding
+      entry& e = it->second;
+      e.ready = true;
+      if (err) {
+        e.err = err;
+      } else {
+        e.data = std::move(data);
+        cached_bytes += e.data->size() * sizeof(T);
+        lru.push_front(id);
+        e.lru_it = lru.begin();
+        e.in_lru = true;
+        evict_locked();
+      }
+      cv_ready.notify_all();
+    }
+  }
+
+  [[nodiscard]] std::shared_ptr<std::vector<T>> decode_one(
+      std::size_t id, device::buffer<T>& dev, std::vector<u8>& scratch,
+      pipeline<T>& pipe, device::stream& s) {
+    const fmt::chunk_dir_entry& e = entries[id];
+    scratch.resize(static_cast<std::size_t>(e.archive_bytes));
+    fetch(scratch.data(), payload_off + e.archive_offset, scratch.size());
+    const std::span<const u8> bytes(scratch.data(), scratch.size());
+    if (!plain && fmt::verify_enabled()) {
+      FZMOD_REQUIRE(kernels::chunked_hash(bytes) == e.digest,
+                    status::corrupt_archive,
+                    "reader: chunk " + std::to_string(id) +
+                        " archive digest mismatch");
+    }
+    auto out = std::make_shared<std::vector<T>>(
+        static_cast<std::size_t>(e.raw_len));
+    dev.ensure(e.raw_len, device::space::device);
+    pipe.decompress(bytes, dev, s);
+    device::memcpy_async(out->data(), dev.data(), e.raw_len * sizeof(T),
+                         device::copy_kind::d2h, s);
+    s.sync();
+    return out;
+  }
+};
+
+// --- public surface --------------------------------------------------------
+
+template <class T>
+reader<T>::reader(std::unique_ptr<impl> pimpl) : impl_(std::move(pimpl)) {}
+
+namespace {
+
+template <class T>
+[[nodiscard]] typename reader<T>::byte_source span_source(
+    std::span<const u8> archive) {
+  return [archive](u8* dst, u64 off, std::size_t len) {
+    std::memcpy(dst, archive.data() + off, len);
+  };
+}
+
+}  // namespace
+
+template <class T>
+reader<T>::reader(std::span<const u8> archive, reader_options opt,
+                  pipeline_config cfg)
+    : reader(archive, std::span<const u8>{}, std::move(opt),
+             std::move(cfg)) {}
+
+template <class T>
+reader<T>::reader(std::span<const u8> archive, std::span<const u8> index,
+                  reader_options opt, pipeline_config cfg)
+    : impl_(std::make_unique<impl>()) {
+  impl_->cfg = std::move(cfg);
+  impl_->fetch = span_source<T>(archive);
+  impl_->total_bytes = archive.size();
+  impl_->open(index, opt);
+}
+
+template <class T>
+reader<T>::reader(byte_source src, u64 container_bytes, reader_options opt,
+                  pipeline_config cfg)
+    : reader(std::move(src), container_bytes, std::span<const u8>{},
+             std::move(opt), std::move(cfg)) {}
+
+template <class T>
+reader<T>::reader(byte_source src, u64 container_bytes,
+                  std::span<const u8> index, reader_options opt,
+                  pipeline_config cfg)
+    : impl_(std::make_unique<impl>()) {
+  impl_->cfg = std::move(cfg);
+  impl_->fetch = std::move(src);
+  impl_->total_bytes = container_bytes;
+  impl_->open(index, opt);
+}
+
+template <class T>
+reader<T> reader<T>::open_file(const std::string& path, reader_options opt,
+                               pipeline_config cfg) {
+  return open_file(path, std::string{}, std::move(opt), std::move(cfg));
+}
+
+template <class T>
+reader<T> reader<T>::open_file(const std::string& path,
+                               const std::string& index_path,
+                               reader_options opt, pipeline_config cfg) {
+  auto pimpl = std::make_unique<impl>();
+  pimpl->cfg = std::move(cfg);
+  pimpl->owned = data::read_file(path);
+  pimpl->total_bytes = pimpl->owned.size();
+  const std::vector<u8>& o = pimpl->owned;
+  pimpl->fetch = [&o](u8* dst, u64 off, std::size_t len) {
+    std::memcpy(dst, o.data() + off, len);
+  };
+  std::vector<u8> index;
+  if (!index_path.empty()) index = data::read_file(index_path);
+  pimpl->open(index, opt);
+  return reader(std::move(pimpl));
+}
+
+template <class T>
+reader<T>::reader(reader&&) noexcept = default;
+template <class T>
+reader<T>& reader<T>::operator=(reader&&) noexcept = default;
+template <class T>
+reader<T>::~reader() = default;
+
+template <class T>
+dims3 reader<T>::dims() const {
+  return impl_->fdims;
+}
+template <class T>
+u64 reader<T>::size() const {
+  return impl_->n;
+}
+template <class T>
+u64 reader<T>::nchunks() const {
+  return impl_->entries.size();
+}
+
+template <class T>
+std::vector<T> reader<T>::read(u64 elem_offset, u64 elem_count) {
+  impl& im = *impl_;
+  require_range(elem_offset, elem_count, im.n, "reader::read");
+  FZMOD_TRACE_SPAN("reader", "read");
+  const u64 lo = elem_offset, hi = elem_offset + elem_count;
+  const std::size_t first = im.find_chunk(lo);
+  std::size_t last = first;
+  while (last < im.entries.size() && im.entries[last].raw_offset < hi)
+    ++last;
+
+  std::vector<std::shared_ptr<const std::vector<T>>> datas(last - first);
+  {
+    std::unique_lock lk(im.mu);
+    ++im.st.reads;
+    for (std::size_t id = first; id < last; ++id) {
+      im.request_locked(id, /*demand=*/true);
+    }
+    im.issue_prefetch_locked(first, last);
+    im.cv_work.notify_all();
+    std::size_t at = first;
+    try {
+      for (; at < last; ++at) {
+        datas[at - first] = im.wait_locked(lk, at);
+      }
+    } catch (...) {
+      for (std::size_t id = at + 1; id < last; ++id) im.unpin_locked(id);
+      im.sample_counters_locked();
+      throw;
+    }
+    im.sample_counters_locked();
+  }
+
+  // Slice copies run outside the lock: the shared_ptrs keep the decoded
+  // chunks alive even if the cache evicts them meanwhile.
+  std::vector<T> out(static_cast<std::size_t>(elem_count));
+  for (std::size_t id = first; id < last; ++id) {
+    const fmt::chunk_dir_entry& e = im.entries[id];
+    const u64 a = std::max(lo, e.raw_offset);
+    const u64 b = std::min(hi, e.raw_offset + e.raw_len);
+    std::memcpy(out.data() + (a - lo),
+                datas[id - first]->data() + (a - e.raw_offset),
+                static_cast<std::size_t>(b - a) * sizeof(T));
+  }
+  return out;
+}
+
+template <class T>
+std::shared_ptr<const std::vector<T>> reader<T>::fetch_chunk(
+    std::size_t id) {
+  impl& im = *impl_;
+  FZMOD_TRACE_SPAN("reader", "cursor-step");
+  std::unique_lock lk(im.mu);
+  ++im.st.reads;
+  im.request_locked(id, /*demand=*/true);
+  // Cursor walks are sequential by construction: prefetch straight ahead.
+  for (unsigned k = 1; k <= im.ways; ++k) {
+    if (id + k >= im.entries.size()) break;
+    im.request_locked(id + k, /*demand=*/false);
+  }
+  im.cv_work.notify_all();
+  auto data = im.wait_locked(lk, id);
+  im.sample_counters_locked();
+  return data;
+}
+
+template <class T>
+reader<T>::chunk_cursor::chunk_cursor(reader& r, u64 lo, u64 hi,
+                                      std::size_t first_chunk)
+    : r_(&r), lo_(lo), hi_(hi), at_(first_chunk) {}
+
+template <class T>
+bool reader<T>::chunk_cursor::next(chunk_view& out) {
+  const auto& entries = r_->impl_->entries;
+  if (at_ >= entries.size() || entries[at_].raw_offset >= hi_) {
+    held_.reset();
+    return false;
+  }
+  held_ = r_->fetch_chunk(at_);
+  const fmt::chunk_dir_entry& e = entries[at_];
+  const u64 a = std::max(lo_, e.raw_offset);
+  const u64 b = std::min(hi_, e.raw_offset + e.raw_len);
+  out.index = at_;
+  out.offset = a;
+  out.data = std::span<const T>(held_->data() + (a - e.raw_offset),
+                                static_cast<std::size_t>(b - a));
+  ++at_;
+  return true;
+}
+
+template <class T>
+typename reader<T>::chunk_cursor reader<T>::chunks(u64 elem_offset,
+                                                   u64 elem_count) {
+  require_range(elem_offset, elem_count, impl_->n, "reader::chunks");
+  return chunk_cursor(*this, elem_offset, elem_offset + elem_count,
+                      impl_->find_chunk(elem_offset));
+}
+
+template <class T>
+std::vector<u8> reader<T>::export_index() const {
+  const impl& im = *impl_;
+  FZMOD_REQUIRE(!im.plain, status::unsupported,
+                "export_index: plain v1/v2 archives have no chunk "
+                "directory to index");
+  fmt::chunk_container_view cv;
+  cv.hdr = im.chdr;
+  cv.entries = im.entries;
+  return fmt::build_index(cv, im.total_bytes, im.container_digest());
+}
+
+template <class T>
+reader_stats reader<T>::stats() const {
+  std::lock_guard lk(impl_->mu);
+  return impl_->st;
+}
+
+template class reader<f32>;
+template class reader<f64>;
+
+}  // namespace fzmod::core

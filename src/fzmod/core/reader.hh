@@ -1,0 +1,190 @@
+// FZModules — seekable reader: the serving-side view of a compressed field.
+//
+// `decompress_range()` is a one-shot: every call re-parses the container
+// directory, decodes its covering chunks cold, and throws the work away.
+// A read-heavy consumer (visualization slicing a field, a query engine
+// fetching extents) needs the opposite — parse once, cache decoded
+// chunks, and predict what gets read next. This reader is that primitive,
+// shaped after rapidgzip's ParallelGzipReader / chunk-fetcher split and
+// indexed_bzip2's exportable block index:
+//
+//   - **open once** — the chunk directory is parsed and validated exactly
+//     once per reader, from the container itself or from an imported
+//     `.fzx` sidecar index (archive_format.hh) that skips the trailing
+//     directory scan entirely; a stale or forged index (container digest
+//     mismatch, damaged sidecar) degrades to a normal scan, never a crash;
+//   - **LRU chunk cache** — decoded chunks are kept under a byte budget
+//     (`reader_options::cache_mb` / `FZMOD_READER_CACHE_MB`), keyed by
+//     chunk id; repeated or overlapping reads hit memory instead of the
+//     decoder;
+//   - **N-way prefetcher** — each read predicts the next chunks from its
+//     access pattern (sequential or strided at chunk granularity) and
+//     decodes them speculatively on the reader's worker slots
+//     (`reader_options::prefetch` / `FZMOD_READER_PREFETCH`), so a scan
+//     streams at decode throughput without ever blocking on a cold chunk;
+//   - **bounded decode pool** — `jobs` worker threads (the chunk
+//     scheduler's slot shape: one pipeline + one stream + one device
+//     buffer each) serve demand misses ahead of speculation.
+//
+// Reads are byte-identical to `chunked_pipeline::decompress_range` on the
+// same archive; plain v1/v2 archives open as one implicit chunk. Under
+// FZMOD_TRACE=1 every read emits a span and cumulative
+// `reader.cache.{hit,miss,evict}` / `reader.prefetch.{issued,used,wasted}`
+// counters, and opens emit an `open.index` / `open.dirscan` instant —
+// docs/OBSERVABILITY.md documents the surface, docs/RUNTIME.md the knobs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fzmod/core/chunked.hh"
+
+namespace fzmod::core {
+
+/// Reader knobs. Zero (or -1 for prefetch) means "resolve from the
+/// environment, then fall back to the default"; the explicit byte budget
+/// wins over the MiB knob (tests use it to force tiny caches).
+struct reader_options {
+  std::size_t cache_mb = 0;     ///< decoded-chunk budget in MiB
+  std::size_t cache_bytes = 0;  ///< explicit byte budget (wins)
+  int prefetch = -1;   ///< chunks to decode ahead; 0 disables speculation
+  unsigned jobs = 0;   ///< decode worker threads
+  /// Check the container's whole-body digest before trusting a sidecar
+  /// index (the stale-index detector). Costs one streaming hash of the
+  /// container on open; opting out trusts the pairing blindly.
+  bool check_index_digest = true;
+
+  [[nodiscard]] std::size_t resolve_cache_bytes() const;
+  [[nodiscard]] unsigned resolve_prefetch() const;
+  [[nodiscard]] unsigned resolve_jobs() const;
+};
+
+/// Cumulative per-reader counters (a value snapshot; see stats()).
+/// Cache hits/misses count per covering chunk, not per read() call.
+struct reader_stats {
+  u64 reads = 0;            ///< read() / cursor-step calls served
+  u64 hits = 0;             ///< covering chunk was cached or in flight
+  u64 misses = 0;           ///< covering chunk needed a demand decode
+  u64 evictions = 0;        ///< chunks dropped to fit the byte budget
+  u64 prefetch_issued = 0;  ///< speculative decodes enqueued
+  u64 prefetch_used = 0;    ///< speculative chunks later consumed by a read
+  u64 prefetch_wasted = 0;  ///< speculative chunks evicted unconsumed
+  bool index_used = false;  ///< directory came from a `.fzx` sidecar
+
+  [[nodiscard]] f64 hit_rate() const {
+    const u64 total = hits + misses;
+    return total ? static_cast<f64>(hits) / static_cast<f64>(total) : 0.0;
+  }
+};
+
+template <class T>
+class reader {
+ public:
+  /// Pull `n` container bytes starting at byte `offset` into `dst`.
+  /// Called from reader worker threads, possibly concurrently for
+  /// disjoint ranges — sources must be thread-safe for reads.
+  using byte_source =
+      std::function<void(u8* dst, u64 offset, std::size_t n)>;
+
+  /// Open a memory-resident container (borrowed; must outlive the
+  /// reader). Accepts v3 containers and plain v1/v2 archives (one
+  /// implicit chunk).
+  explicit reader(std::span<const u8> archive, reader_options opt = {},
+                  pipeline_config cfg = {});
+
+  /// Same, importing a `.fzx` sidecar index: when the index matches the
+  /// container it replaces the directory scan; on any mismatch the reader
+  /// falls back to scanning (stats().index_used tells which happened).
+  reader(std::span<const u8> archive, std::span<const u8> index,
+         reader_options opt = {}, pipeline_config cfg = {});
+
+  /// Open a streaming source of `container_bytes` total bytes (a file a
+  /// reader must not map whole, a remote object). Only the directory and
+  /// the chunks a read touches are ever fetched.
+  reader(byte_source src, u64 container_bytes, reader_options opt = {},
+         pipeline_config cfg = {});
+  reader(byte_source src, u64 container_bytes, std::span<const u8> index,
+         reader_options opt = {}, pipeline_config cfg = {});
+
+  /// Open a container file (whole-file read; the reader owns the bytes).
+  [[nodiscard]] static reader open_file(const std::string& path,
+                                        reader_options opt = {},
+                                        pipeline_config cfg = {});
+  [[nodiscard]] static reader open_file(const std::string& path,
+                                        const std::string& index_path,
+                                        reader_options opt = {},
+                                        pipeline_config cfg = {});
+
+  reader(reader&&) noexcept;
+  reader& operator=(reader&&) noexcept;
+  reader(const reader&) = delete;
+  reader& operator=(const reader&) = delete;
+  ~reader();
+
+  [[nodiscard]] dims3 dims() const;
+  [[nodiscard]] u64 size() const;     ///< field length in elements
+  [[nodiscard]] u64 nchunks() const;
+
+  /// Read `elem_count` elements starting at `elem_offset`. Byte-identical
+  /// to decompress_range on the same archive; validation matches it too
+  /// (zero-length and out-of-range requests throw invalid_argument before
+  /// any decode). A damaged covering chunk throws corrupt_archive naming
+  /// the chunk — and keeps throwing on retry; chunks the range does not
+  /// cover are never read, so damage elsewhere is invisible.
+  [[nodiscard]] std::vector<T> read(u64 elem_offset, u64 elem_count);
+
+  /// One decoded chunk's worth of a cursor walk: `data` is the chunk's
+  /// intersection with the requested range, `offset` its position in the
+  /// field. The span stays valid until the next next()/destruction.
+  struct chunk_view {
+    u64 index = 0;   ///< chunk id
+    u64 offset = 0;  ///< first field element of `data`
+    std::span<const T> data;
+  };
+
+  /// Forward cursor over the chunks covering a range: decodes one chunk
+  /// per step (prefetching ahead), so walking a huge extent holds one
+  /// chunk plus the prefetch window instead of the whole range.
+  class chunk_cursor {
+   public:
+    /// Advance to the next covering chunk. Returns false when done.
+    [[nodiscard]] bool next(chunk_view& out);
+
+   private:
+    friend class reader;
+    chunk_cursor(reader& r, u64 lo, u64 hi, std::size_t first_chunk);
+    reader* r_;
+    u64 lo_, hi_;
+    std::size_t at_;  // next chunk id to decode
+    std::shared_ptr<const std::vector<T>> held_;  // keeps the span alive
+  };
+
+  /// Cursor over the chunks covering [elem_offset, elem_offset +
+  /// elem_count). Range validation matches read().
+  [[nodiscard]] chunk_cursor chunks(u64 elem_offset, u64 elem_count);
+
+  /// Serialize the `.fzx` sidecar index for this container (hashes the
+  /// whole container to bind the pairing). Plain v1/v2 archives have no
+  /// directory to index — throws status::unsupported.
+  [[nodiscard]] std::vector<u8> export_index() const;
+
+  /// Snapshot of the cumulative counters (thread-safe value copy).
+  [[nodiscard]] reader_stats stats() const;
+
+ private:
+  struct impl;
+  explicit reader(std::unique_ptr<impl> pimpl);
+  std::shared_ptr<const std::vector<T>> fetch_chunk(std::size_t id);
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace fzmod::core
+
+namespace fzmod {
+using core::reader;
+using core::reader_options;
+using core::reader_stats;
+}  // namespace fzmod

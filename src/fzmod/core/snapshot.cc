@@ -149,6 +149,19 @@ std::vector<f32> snapshot_reader::read(std::string_view name) const {
   return decompress_any<f32>(archive(name));
 }
 
+std::vector<f32> snapshot_reader::read_range(std::string_view name,
+                                             u64 elem_offset,
+                                             u64 elem_count) const {
+  chunked_pipeline<f32> pipe{pipeline_config{}};
+  return pipe.decompress_range(archive(name), elem_offset, elem_count);
+}
+
+reader<f32> snapshot_reader::make_reader(std::string_view name,
+                                         reader_options opt,
+                                         pipeline_config cfg) const {
+  return reader<f32>(archive(name), std::move(opt), std::move(cfg));
+}
+
 namespace {
 
 /// Collapse a chunked report into the flat per-section shape: each flag is

@@ -19,6 +19,7 @@
 
 #include "fzmod/core/chunked.hh"
 #include "fzmod/core/pipeline.hh"
+#include "fzmod/core/reader.hh"
 
 namespace fzmod::core {
 
@@ -74,6 +75,21 @@ class snapshot_reader {
   /// Decompress one field by name. Throws status::invalid_argument for
   /// unknown names.
   [[nodiscard]] std::vector<f32> read(std::string_view name) const;
+
+  /// Read a sub-extent of one field without decoding the rest of it (v3
+  /// chunk containers touch only covering chunks; plain archives decode
+  /// once and slice). One-shot — repeated range reads of the same field
+  /// should hold a make_reader() instead.
+  [[nodiscard]] std::vector<f32> read_range(std::string_view name,
+                                            u64 elem_offset,
+                                            u64 elem_count) const;
+
+  /// Open a seekable reader over one field's archive (LRU chunk cache +
+  /// prefetch; see core/reader.hh). The snapshot blob must outlive the
+  /// reader, which borrows the field's archive bytes.
+  [[nodiscard]] reader<f32> make_reader(std::string_view name,
+                                        reader_options opt = {},
+                                        pipeline_config cfg = {}) const;
 
   /// The raw archive bytes of one field (for re-packing or inspection).
   [[nodiscard]] std::span<const u8> archive(std::string_view name) const;

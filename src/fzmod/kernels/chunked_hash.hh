@@ -73,4 +73,34 @@ inline void chunked_hash_async(const u8* data, std::size_t n, u64* out,
   return common::xxhash64(partial.data(), nchunks * sizeof(u64), nchunks);
 }
 
+/// Incremental form for byte sources that cannot expose one contiguous
+/// span (the seekable reader's streaming open). `fetch(dst, offset, len)`
+/// pulls raw bytes; the payload is consumed one 64 KiB digest chunk at a
+/// time, so peak memory is hash_chunk_bytes regardless of `n`. Produces
+/// exactly the span form's digest — the definition above is per-chunk, so
+/// the windowing is invisible.
+template <class Fetch>
+[[nodiscard]] u64 chunked_hash_stream(u64 n, Fetch&& fetch) {
+  auto& rt = device::runtime::instance();
+  rt.stats().kernels_launched += 1;
+  const u64 nchunks = n ? (n + hash_chunk_bytes - 1) / hash_chunk_bytes : 0;
+  std::vector<u8> window(std::min<u64>(n, hash_chunk_bytes));
+  if (nchunks <= 1) {
+    if (n) fetch(window.data(), u64{0}, static_cast<std::size_t>(n));
+    return common::xxhash64(window.data(), static_cast<std::size_t>(n), 0);
+  }
+  std::vector<u64> partial(static_cast<std::size_t>(nchunks));
+  for (u64 c = 0; c < nchunks; ++c) {
+    const u64 beg = c * hash_chunk_bytes;
+    const std::size_t len =
+        static_cast<std::size_t>(std::min<u64>(hash_chunk_bytes, n - beg));
+    fetch(window.data(), beg, len);
+    partial[static_cast<std::size_t>(c)] =
+        common::xxhash64(window.data(), len, 0);
+  }
+  return common::xxhash64(partial.data(),
+                          static_cast<std::size_t>(nchunks) * sizeof(u64),
+                          static_cast<std::size_t>(nchunks));
+}
+
 }  // namespace fzmod::kernels

@@ -11,6 +11,8 @@
 #include <memory>
 #include <mutex>
 
+#include "fzmod/common/env.hh"
+
 namespace fzmod::trace {
 namespace {
 
@@ -61,14 +63,7 @@ struct collector {
     const char* v = std::getenv("FZMOD_TRACE");
     enabled.store(v && *v && !(v[0] == '0' && v[1] == '\0'),
                   std::memory_order_relaxed);
-    ring_cap = 65536;
-    if (const char* b = std::getenv("FZMOD_TRACE_BUF")) {
-      char* end = nullptr;
-      const unsigned long long x = std::strtoull(b, &end, 10);
-      if (end != b && *end == '\0' && x >= 16) {
-        ring_cap = static_cast<std::size_t>(x);
-      }
-    }
+    ring_cap = resolve_ring_cap();
   }
 
   static collector& instance() {
@@ -145,6 +140,15 @@ u64 union_ns(std::vector<std::pair<u64, u64>>& iv) {
 }
 
 }  // namespace
+
+std::size_t resolve_ring_cap() {
+  const std::size_t cap =
+      static_cast<std::size_t>(common::env_u64("FZMOD_TRACE_BUF", 65536));
+  FZMOD_REQUIRE(cap >= 16, status::invalid_argument,
+                "FZMOD_TRACE_BUF: ring capacity must be >= 16, got " +
+                    std::to_string(cap));
+  return cap;
+}
 
 bool enabled() {
   return collector::instance().enabled.load(std::memory_order_relaxed);

@@ -67,6 +67,13 @@ struct event {
   char cat[cat_cap] = {};
 };
 
+/// Resolve the per-thread ring capacity from `FZMOD_TRACE_BUF` (default
+/// 65536). Strict parse: a malformed value or one below the minimum of 16
+/// throws status::invalid_argument naming the variable — no silent
+/// fallback (common/env.hh semantics). The collector calls this once at
+/// first use; exposed so tests can pin the parse contract directly.
+[[nodiscard]] std::size_t resolve_ring_cap();
+
 /// Whether recording is currently on (one relaxed atomic load — this is
 /// the disabled-mode fast path every instrumentation site starts with).
 [[nodiscard]] bool enabled();

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <string_view>
 #include <thread>
@@ -83,6 +84,22 @@ TEST(ChunkedOptions, EnvAndOverrideResolution) {
   EXPECT_EQ(o.resolve_jobs(), 3u);
 }
 
+TEST(ChunkedOptions, MalformedEnvThrowsInsteadOfSilentFallback) {
+  // Regression: these used to fall back to the default on garbage (the
+  // old atoi-style parse), silently masking typos like "16MB".
+  chunked_options o;
+  setenv("FZMOD_CHUNK_MB", "16MB", 1);
+  EXPECT_THROW((void)o.resolve_chunk_elems(4), error);
+  setenv("FZMOD_CHUNK_MB", "8", 1);
+  EXPECT_EQ(o.resolve_chunk_elems(4), (8u << 20) / 4);
+  unsetenv("FZMOD_CHUNK_MB");
+  setenv("FZMOD_JOBS", "four", 1);
+  EXPECT_THROW((void)o.resolve_jobs(), error);
+  setenv("FZMOD_JOBS", "6", 1);
+  EXPECT_EQ(o.resolve_jobs(), 6u);
+  unsetenv("FZMOD_JOBS");
+}
+
 TEST(Chunked, SingleChunkIsByteIdenticalToV2) {
   const dims3 d{60, 40, 1};
   const auto v = smooth_field(d);
@@ -151,10 +168,10 @@ TEST(Chunked, DecompressRangeEqualsFullDecodeSlice) {
   const auto full = cp.decompress(arch);
 
   // Ranges chosen to hit: chunk-interior, chunk-straddling, first & last
-  // element, whole field, and empty.
+  // element, and the whole field.
   const std::pair<u64, u64> ranges[] = {
       {700, 300}, {64 * 8, 64 * 8}, {0, 1},  {d.len() - 1, 1},
-      {0, d.len()}, {1234, 0},      {100, 2000},
+      {0, d.len()}, {100, 2000},
   };
   for (const auto& [off, cnt] : ranges) {
     const auto part = cp.decompress_range(arch, off, cnt);
@@ -164,6 +181,48 @@ TEST(Chunked, DecompressRangeEqualsFullDecodeSlice) {
     }
   }
   EXPECT_THROW((void)cp.decompress_range(arch, d.len(), 1), error);
+}
+
+TEST(Chunked, DecompressRangeRejectsDegenerateRequests) {
+  // Regression: zero-length ranges used to return an empty vector (hiding
+  // caller bugs), offset+count overflow wrapped into a "valid" tiny
+  // range, and a range at the field end slipped past validation on the
+  // plain v1/v2 path. All must throw invalid_argument *before* decoding.
+  const dims3 d{64, 8, 9};
+  chunked_options opt;
+  opt.chunk_elems = 2 * 64 * 8;
+  chunked_pipeline<f32> cp(pipeline_config{}, opt);
+  const auto v = smooth_field(d, 11);
+  const auto arch = cp.compress(v, d);
+
+  const auto expect_invalid = [&](std::span<const u8> a, u64 off, u64 cnt) {
+    try {
+      (void)cp.decompress_range(a, off, cnt);
+      FAIL() << "expected invalid_argument for off=" << off
+             << " cnt=" << cnt;
+    } catch (const error& e) {
+      EXPECT_EQ(e.code(), status::invalid_argument);
+    }
+  };
+  expect_invalid(arch, 1234, 0);           // zero-length
+  expect_invalid(arch, d.len(), 1);        // at the field end
+  expect_invalid(arch, d.len() + 7, 1);    // past the field end
+  expect_invalid(arch, 0, d.len() + 1);    // overrun
+  expect_invalid(arch, 5, ~u64{0});        // offset + count overflows u64
+  expect_invalid(arch, ~u64{0}, 2);
+
+  // Same contract on a plain v1/v2 archive — and validation must run
+  // before any decode: a corrupt *payload* still yields invalid_argument
+  // for an out-of-range request, not corrupt_archive.
+  pipeline<f32> plain(pipeline_config{});
+  const dims3 pd{40, 5, 1};
+  auto parch = plain.compress(smooth_field(pd, 5), pd);
+  chunked_pipeline<f32> pcp(pipeline_config{});
+  expect_invalid(parch, pd.len(), 1);
+  expect_invalid(parch, 10, 0);
+  parch[parch.size() / 2] ^= 0x40;  // damage the payload
+  expect_invalid(parch, pd.len() + 3, 4);
+  expect_invalid(parch, 5, ~u64{0});
 }
 
 TEST(Chunked, RangeOnPlainV2ArchiveSlicesFullDecode) {

@@ -1,7 +1,12 @@
-// Unit tests: fundamental types, error machinery, bit utilities, RNG.
+// Unit tests: fundamental types, error machinery, bit utilities, RNG,
+// strict environment-variable parsing.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "fzmod/common/bits.hh"
+#include "fzmod/common/env.hh"
 #include "fzmod/common/error.hh"
 #include "fzmod/common/rng.hh"
 #include "fzmod/common/types.hh"
@@ -101,6 +106,55 @@ TEST(Bits, ReaderPeekDoesNotConsume) {
   EXPECT_EQ(br.position(), 0u);
   EXPECT_EQ(br.get(8), 0x5au);
   EXPECT_EQ(br.position(), 8u);
+}
+
+TEST(Env, ParseU64AcceptsOnlyStrictBase10) {
+  EXPECT_EQ(common::parse_u64("0", "X"), 0u);
+  EXPECT_EQ(common::parse_u64("123", "X"), 123u);
+  EXPECT_EQ(common::parse_u64("18446744073709551615", "X"), ~u64{0});
+  for (const char* bad :
+       {"", "-1", "+5", "12x", " 12", "12 ", "0x10", "1.5", "four",
+        "18446744073709551616", "99999999999999999999999"}) {
+    try {
+      (void)common::parse_u64(bad, "FZMOD_TEST_KNOB");
+      FAIL() << "expected throw for '" << bad << "'";
+    } catch (const error& e) {
+      EXPECT_EQ(e.code(), status::invalid_argument);
+      // The message names the knob so the user knows what to fix.
+      EXPECT_NE(std::string(e.what()).find("FZMOD_TEST_KNOB"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Env, ParseU64PairIsStrictOnBothSides) {
+  // Regression for the CLI `--range` parser: the old sscanf accepted
+  // trailing garbage ("700,300junk"), extra fields ("1,2,3"), and
+  // wrapped negative counts. Strict now.
+  const auto [a, b] = common::parse_u64_pair("700,300", "--range");
+  EXPECT_EQ(a, 700u);
+  EXPECT_EQ(b, 300u);
+  const auto [z0, z1] = common::parse_u64_pair("0,0", "--range");
+  EXPECT_EQ(z0, 0u);
+  EXPECT_EQ(z1, 0u);
+  for (const char* bad : {"", ",", "700", "700,", ",300", "1,2,3",
+                          "700;300", "700,300junk", "a,3", "5,-2",
+                          " 7,2", "7, 2", "99999999999999999999999,1"}) {
+    EXPECT_THROW((void)common::parse_u64_pair(bad, "--range"), error)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Env, EnvU64FallsBackOnlyWhenUnsetOrEmpty) {
+  unsetenv("FZMOD_TEST_KNOB");
+  EXPECT_EQ(common::env_u64("FZMOD_TEST_KNOB", 42), 42u);
+  setenv("FZMOD_TEST_KNOB", "", 1);
+  EXPECT_EQ(common::env_u64("FZMOD_TEST_KNOB", 42), 42u);
+  setenv("FZMOD_TEST_KNOB", "7", 1);
+  EXPECT_EQ(common::env_u64("FZMOD_TEST_KNOB", 42), 7u);
+  setenv("FZMOD_TEST_KNOB", "7seven", 1);
+  EXPECT_THROW((void)common::env_u64("FZMOD_TEST_KNOB", 42), error);
+  unsetenv("FZMOD_TEST_KNOB");
 }
 
 TEST(Rng, Deterministic) {

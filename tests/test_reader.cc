@@ -1,0 +1,459 @@
+// Tests for the seekable reader (core/reader.hh): read() equality with
+// decompress_range on random extents, cache hit-rate under a zipfian
+// access trace, LRU eviction under a tiny byte budget, the sequential
+// prefetcher, corrupted-chunk isolation (sticky errors), `.fzx` sidecar
+// round-trip plus stale/forged index rejection, the chunk cursor,
+// streaming byte_source opens, plain v2 archives, range validation, and
+// concurrent readers (this test runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fzmod/common/rng.hh"
+#include "fzmod/core/chunked.hh"
+#include "fzmod/core/reader.hh"
+#include "fzmod/core/snapshot.hh"
+#include "fzmod/data/io.hh"
+#include "fzmod/trace/trace.hh"
+
+namespace fzmod::core {
+namespace {
+
+std::vector<f32> smooth_field(dims3 d, u64 seed = 7) {
+  rng r(seed);
+  std::vector<f32> v(d.len());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.003 * static_cast<f64>(i)) * 40 +
+                            0.05 * r.normal());
+  }
+  return v;
+}
+
+/// A multi-chunk v3 container plus its full decode, shared across tests.
+struct fixture {
+  dims3 d;
+  u64 chunk_elems;
+  std::vector<f32> original;
+  std::vector<u8> arch;
+  std::vector<f32> full;
+
+  explicit fixture(dims3 dims = {64, 8, 10}, u64 slabs_per_chunk = 2,
+                   u64 seed = 11)
+      : d(dims), chunk_elems(slabs_per_chunk * dims.x * dims.y) {
+    chunked_options opt;
+    opt.chunk_elems = chunk_elems;
+    chunked_pipeline<f32> cp(pipeline_config{}, opt);
+    original = smooth_field(d, seed);
+    arch = cp.compress(original, d);
+    EXPECT_TRUE(fmt::is_chunk_container(arch));
+    full = cp.decompress(arch);
+  }
+};
+
+/// Small deterministic reader: no prefetch, single worker, roomy cache.
+reader_options quiet_opts() {
+  reader_options o;
+  o.cache_mb = 64;
+  o.prefetch = 0;
+  o.jobs = 1;
+  return o;
+}
+
+TEST(Reader, RandomExtentsMatchFullDecodeSlice) {
+  fixture fx;
+  reader<f32> r(fx.arch, quiet_opts());
+  EXPECT_EQ(r.size(), fx.d.len());
+  EXPECT_EQ(r.dims().x, fx.d.x);
+  EXPECT_EQ(r.nchunks(), 5u);
+
+  rng rnd(101);
+  for (int it = 0; it < 64; ++it) {
+    const u64 off = rnd.next_below(fx.d.len());
+    const u64 cnt = 1 + rnd.next_below(fx.d.len() - off);
+    const auto part = r.read(off, cnt);
+    ASSERT_EQ(part.size(), cnt);
+    for (u64 i = 0; i < cnt; ++i) {
+      ASSERT_EQ(part[i], fx.full[off + i]) << "off=" << off << " i=" << i;
+    }
+  }
+  // Edge extents: single first/last element, whole field.
+  for (const auto& [off, cnt] :
+       {std::pair<u64, u64>{0, 1},
+        {fx.d.len() - 1, 1},
+        {0, fx.d.len()}}) {
+    const auto part = r.read(off, cnt);
+    for (u64 i = 0; i < cnt; ++i) ASSERT_EQ(part[i], fx.full[off + i]);
+  }
+}
+
+TEST(Reader, RangeValidationMatchesDecompressRange) {
+  fixture fx;
+  reader<f32> r(fx.arch, quiet_opts());
+  const u64 n = fx.d.len();
+  EXPECT_THROW((void)r.read(100, 0), error);       // zero-length
+  EXPECT_THROW((void)r.read(n, 1), error);         // offset at field end
+  EXPECT_THROW((void)r.read(n + 5, 1), error);     // offset past field end
+  EXPECT_THROW((void)r.read(0, n + 1), error);     // overrun
+  EXPECT_THROW((void)r.read(n - 1, 2), error);     // tail overrun
+  // offset + count u64 overflow must be caught, not wrap to a tiny range.
+  EXPECT_THROW((void)r.read(5, ~u64{0}), error);
+  EXPECT_THROW((void)r.read(~u64{0}, 2), error);
+  // Same requests keep throwing from chunks() too.
+  EXPECT_THROW((void)r.chunks(100, 0), error);
+  EXPECT_THROW((void)r.chunks(5, ~u64{0}), error);
+  // Nothing above decoded anything.
+  EXPECT_EQ(r.stats().misses, 0u);
+}
+
+TEST(Reader, ZipfianTraceHitsCache) {
+  // 20 chunks of one slab each; cache holds half of them. A zipfian
+  // access pattern concentrates on the head ranks, so the hit rate must
+  // clear the same floor the bench gates on (60%).
+  fixture fx({64, 8, 20}, 1, 23);
+  const u64 nchunks = 20;
+  const std::size_t chunk_bytes = fx.chunk_elems * sizeof(f32);
+  reader_options opt;
+  opt.cache_bytes = 10 * chunk_bytes;
+  opt.prefetch = 0;
+  opt.jobs = 2;
+  reader<f32> r(fx.arch, opt);
+
+  // Zipf(s=1) CDF over chunk ranks.
+  std::vector<f64> cdf(nchunks);
+  f64 mass = 0;
+  for (u64 k = 0; k < nchunks; ++k) {
+    mass += 1.0 / static_cast<f64>(k + 1);
+    cdf[k] = mass;
+  }
+  rng rnd(77);
+  for (int it = 0; it < 400; ++it) {
+    const f64 u = rnd.next_f64() * mass;
+    u64 chunk = 0;
+    while (chunk + 1 < nchunks && cdf[chunk] < u) ++chunk;
+    const u64 off =
+        chunk * fx.chunk_elems + rnd.next_below(fx.chunk_elems - 8);
+    const auto part = r.read(off, 8);
+    for (u64 i = 0; i < 8; ++i) ASSERT_EQ(part[i], fx.full[off + i]);
+  }
+  const auto st = r.stats();
+  EXPECT_EQ(st.reads, 400u);
+  EXPECT_GE(st.hit_rate(), 0.60) << "hits=" << st.hits
+                                 << " misses=" << st.misses;
+}
+
+TEST(Reader, TinyCacheEvictsAndStaysCorrect) {
+  fixture fx;
+  reader_options opt;
+  opt.cache_bytes = 1;  // nothing fits: every chunk evicts after its read
+  opt.prefetch = 0;
+  opt.jobs = 1;
+  reader<f32> r(fx.arch, opt);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (u64 c = 0; c < r.nchunks(); ++c) {
+      const u64 off = c * fx.chunk_elems;
+      const u64 cnt = std::min(fx.chunk_elems, fx.d.len() - off);
+      const auto part = r.read(off, cnt);
+      for (u64 i = 0; i < cnt; ++i) ASSERT_EQ(part[i], fx.full[off + i]);
+    }
+  }
+  const auto st = r.stats();
+  EXPECT_GT(st.evictions, 0u);
+  // Second pass re-decodes everything: no room to hit.
+  EXPECT_EQ(st.misses, 2 * r.nchunks());
+}
+
+TEST(Reader, SequentialScanUsesPrefetch) {
+  fixture fx({64, 8, 12}, 1, 41);
+  reader_options opt;
+  opt.cache_mb = 64;
+  opt.prefetch = 2;
+  opt.jobs = 2;
+  reader<f32> r(fx.arch, opt);
+  for (u64 c = 0; c < r.nchunks(); ++c) {
+    const u64 off = c * fx.chunk_elems;
+    const auto part = r.read(off, fx.chunk_elems);
+    for (u64 i = 0; i < fx.chunk_elems; ++i) {
+      ASSERT_EQ(part[i], fx.full[off + i]);
+    }
+  }
+  const auto st = r.stats();
+  EXPECT_GT(st.prefetch_issued, 0u);
+  EXPECT_GT(st.prefetch_used, 0u);
+  // Every chunk past the first should have been speculated into the
+  // cache before its demand read arrived (or was at least in flight).
+  EXPECT_GT(st.hits, 0u);
+}
+
+TEST(Reader, CorruptChunkIsIsolatedAndSticky) {
+  fixture fx({256, 16, 6}, 2, 31);  // 3 chunks
+  auto arch = fx.arch;
+  const auto info = inspect_chunked(arch);
+  ASSERT_EQ(info.nchunks, 3u);
+  const auto& e1 = info.chunks[1];
+  arch[sizeof(fmt::chunk_header_v3) + e1.archive_offset +
+       e1.archive_bytes / 2] ^= 0x10;
+
+  reader<f32> r(arch, quiet_opts());
+  // Chunks 0 and 2 never touch chunk 1's bytes.
+  const auto head = r.read(0, info.chunks[0].raw_len);
+  for (u64 i = 0; i < head.size(); ++i) ASSERT_EQ(head[i], fx.full[i]);
+  const u64 off2 = info.chunks[2].raw_offset;
+  const auto tail = r.read(off2, info.chunks[2].raw_len);
+  for (u64 i = 0; i < tail.size(); ++i) {
+    ASSERT_EQ(tail[i], fx.full[off2 + i]);
+  }
+  // A range covering chunk 1 throws — and keeps throwing on retry (the
+  // error is sticky; no half-decoded data can ever be served).
+  const u64 off1 = info.chunks[1].raw_offset;
+  EXPECT_THROW((void)r.read(off1, 16), error);
+  EXPECT_THROW((void)r.read(off1, 16), error);
+  try {
+    (void)r.read(0, fx.d.len());  // whole field covers the bad chunk
+    FAIL() << "expected corrupt_archive";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::corrupt_archive);
+  }
+  // The good chunks still serve after the failures.
+  const auto again = r.read(0, 64);
+  for (u64 i = 0; i < 64; ++i) ASSERT_EQ(again[i], fx.full[i]);
+}
+
+TEST(Reader, ChunkCursorWalksCoveringChunksOnce) {
+  fixture fx;
+  reader<f32> r(fx.arch, quiet_opts());
+  const u64 off = fx.chunk_elems / 2;
+  const u64 cnt = 3 * fx.chunk_elems;  // straddles 4 chunks
+  auto cur = r.chunks(off, cnt);
+  std::vector<f32> got;
+  reader<f32>::chunk_view v;
+  u64 expect_at = off;
+  std::size_t steps = 0;
+  while (cur.next(v)) {
+    EXPECT_EQ(v.offset, expect_at);  // contiguous, in order
+    got.insert(got.end(), v.data.begin(), v.data.end());
+    expect_at = v.offset + v.data.size();
+    ++steps;
+  }
+  EXPECT_EQ(steps, 4u);
+  ASSERT_EQ(got.size(), cnt);
+  for (u64 i = 0; i < cnt; ++i) ASSERT_EQ(got[i], fx.full[off + i]);
+  // Exhausted cursor stays exhausted.
+  EXPECT_FALSE(cur.next(v));
+}
+
+TEST(Reader, SidecarIndexRoundTripSkipsDirectoryScan) {
+  fixture fx;
+  reader<f32> r1(fx.arch, quiet_opts());
+  const std::vector<u8> idx = r1.export_index();
+  EXPECT_FALSE(r1.stats().index_used);
+
+  trace::set_enabled(true);
+  trace::clear();
+  reader<f32> r2(fx.arch, idx, quiet_opts());
+  EXPECT_TRUE(r2.stats().index_used);
+  bool saw_index = false, saw_dirscan = false;
+  for (const auto& e : trace::snapshot()) {
+    if (std::string_view(e.name) == "open.index") saw_index = true;
+    if (std::string_view(e.name) == "open.dirscan") saw_dirscan = true;
+  }
+  trace::set_enabled(false);
+  trace::clear();
+  EXPECT_TRUE(saw_index);    // cold open served from the sidecar...
+  EXPECT_FALSE(saw_dirscan);  // ...so the trailing directory never parsed
+  const auto part = r2.read(100, 2000);
+  for (u64 i = 0; i < 2000; ++i) ASSERT_EQ(part[i], fx.full[100 + i]);
+}
+
+TEST(Reader, StaleIndexFallsBackToDirectoryScan) {
+  fixture fx;
+  const std::vector<u8> idx = reader<f32>(fx.arch, quiet_opts())
+                                  .export_index();
+  // "New" container: same dims, different data — the sidecar is stale.
+  fixture fresh({64, 8, 10}, 2, 999);
+  trace::set_enabled(true);
+  trace::clear();
+  reader<f32> r(fresh.arch, idx, quiet_opts());
+  EXPECT_FALSE(r.stats().index_used);
+  bool saw_rejected = false;
+  for (const auto& e : trace::snapshot()) {
+    if (std::string_view(e.name) == "index.rejected") saw_rejected = true;
+  }
+  trace::set_enabled(false);
+  trace::clear();
+  EXPECT_TRUE(saw_rejected);
+  // Degraded to a scan, not a crash — reads serve the *new* data.
+  const auto part = r.read(0, 512);
+  for (u64 i = 0; i < 512; ++i) ASSERT_EQ(part[i], fresh.full[i]);
+}
+
+TEST(Reader, ForgedIndexIsRejectedBySelfDigest) {
+  fixture fx;
+  std::vector<u8> idx =
+      reader<f32>(fx.arch, quiet_opts()).export_index();
+  // Tamper with a directory entry inside the sidecar: the self-digest
+  // trailer no longer matches, so the import must fail closed.
+  idx[sizeof(fmt::fzx_header) + 8] ^= 0xff;
+  reader<f32> r(fx.arch, idx, quiet_opts());
+  EXPECT_FALSE(r.stats().index_used);
+  const auto part = r.read(700, 300);
+  for (u64 i = 0; i < 300; ++i) ASSERT_EQ(part[i], fx.full[700 + i]);
+  // Truncated sidecars fail closed too.
+  std::vector<u8> stub(idx.begin(), idx.begin() + 16);
+  reader<f32> r2(fx.arch, stub, quiet_opts());
+  EXPECT_FALSE(r2.stats().index_used);
+}
+
+TEST(Reader, PlainV2ArchiveOpensAsOneChunk) {
+  const dims3 d{40, 5, 1};
+  pipeline<f32> plain(pipeline_config{});
+  const auto v = smooth_field(d, 5);
+  const auto arch = plain.compress(v, d);
+  ASSERT_FALSE(fmt::is_chunk_container(arch));
+
+  reader<f32> r(arch, quiet_opts());
+  EXPECT_EQ(r.nchunks(), 1u);
+  EXPECT_EQ(r.size(), d.len());
+  const auto full = plain.decompress(arch);
+  const auto part = r.read(30, 50);
+  for (u64 i = 0; i < 50; ++i) ASSERT_EQ(part[i], full[30 + i]);
+  // No chunk directory to index.
+  try {
+    (void)r.export_index();
+    FAIL() << "expected unsupported";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::unsupported);
+  }
+}
+
+TEST(Reader, StreamingByteSourceFetchesOnDemand) {
+  fixture fx;
+  std::atomic<u64> bytes_pulled{0};
+  reader<f32>::byte_source src = [&](u8* dst, u64 off, std::size_t n) {
+    ASSERT_LE(off + n, fx.arch.size());
+    std::copy_n(fx.arch.data() + off, n, dst);
+    bytes_pulled.fetch_add(n, std::memory_order_relaxed);
+  };
+  reader<f32> r(src, fx.arch.size(), quiet_opts());
+  const auto part = r.read(0, fx.chunk_elems);  // one chunk's worth
+  for (u64 i = 0; i < fx.chunk_elems; ++i) ASSERT_EQ(part[i], fx.full[i]);
+  // Header + directory + one chunk archive — far less than the container.
+  EXPECT_LT(bytes_pulled.load(), fx.arch.size());
+
+  // Streaming open honors a sidecar too (the whole-container digest
+  // check streams the body; reads still fetch only covering chunks).
+  const std::vector<u8> idx = r.export_index();
+  reader<f32> r2(src, fx.arch.size(), idx, quiet_opts());
+  EXPECT_TRUE(r2.stats().index_used);
+  const auto tail = r2.read(fx.d.len() - 100, 100);
+  for (u64 i = 0; i < 100; ++i) {
+    ASSERT_EQ(tail[i], fx.full[fx.d.len() - 100 + i]);
+  }
+}
+
+TEST(Reader, OpenFileRoundTripsThroughDisk) {
+  fixture fx;
+  const std::string path = testing::TempDir() + "reader_rt.fzm";
+  const std::string idx_path = testing::TempDir() + "reader_rt.fzx";
+  data::write_file(path, fx.arch);
+  auto r = reader<f32>::open_file(path, quiet_opts());
+  data::write_file(idx_path, r.export_index());
+  const auto part = r.read(64, 128);
+  for (u64 i = 0; i < 128; ++i) ASSERT_EQ(part[i], fx.full[64 + i]);
+
+  auto r2 = reader<f32>::open_file(path, idx_path, quiet_opts());
+  EXPECT_TRUE(r2.stats().index_used);
+  const auto part2 = r2.read(64, 128);
+  for (u64 i = 0; i < 128; ++i) ASSERT_EQ(part2[i], fx.full[64 + i]);
+}
+
+TEST(Reader, ConcurrentReadersShareTheCache) {
+  // Exercises the lock/cv protocol under contention: four threads hammer
+  // overlapping extents while the prefetcher speculates. Runs under TSan
+  // in CI, where any cache/LRU/pin race surfaces as a hard failure.
+  fixture fx({64, 8, 16}, 1, 53);
+  reader_options opt;
+  opt.cache_bytes = 6 * fx.chunk_elems * sizeof(f32);  // force eviction
+  opt.prefetch = 2;
+  opt.jobs = 3;
+  reader<f32> r(fx.arch, opt);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      rng rnd(1000 + static_cast<u64>(t));
+      for (int it = 0; it < 60; ++it) {
+        const u64 off = rnd.next_below(fx.d.len() - 32);
+        const auto part = r.read(off, 32);
+        for (u64 i = 0; i < 32; ++i) {
+          if (part[i] != fx.full[off + i]) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(r.stats().reads, 240u);
+}
+
+TEST(Reader, SnapshotMakeReaderMatchesReadRange) {
+  const dims3 d{64, 8, 10};
+  snapshot_writer w;
+  chunked_options copt;
+  copt.chunk_elems = 2 * 64 * 8;
+  w.set_chunking(copt);
+  const auto v = smooth_field(d, 71);
+  w.add("density", v, d);
+  const auto blob = w.finish();
+
+  snapshot_reader snap(blob);
+  const auto via_range = snap.read_range("density", 700, 300);
+  auto r = snap.make_reader("density", quiet_opts());
+  const auto via_reader = r.read(700, 300);
+  ASSERT_EQ(via_range.size(), via_reader.size());
+  for (u64 i = 0; i < 300; ++i) ASSERT_EQ(via_range[i], via_reader[i]);
+  EXPECT_THROW((void)snap.read_range("density", 700, 0), error);
+  EXPECT_THROW((void)snap.make_reader("missing"), error);
+}
+
+TEST(ReaderOptions, EnvResolutionAndOverrides) {
+  reader_options o;
+  o.cache_bytes = 4096;
+  o.cache_mb = 7;
+  EXPECT_EQ(o.resolve_cache_bytes(), 4096u);  // explicit bytes win
+  o.cache_bytes = 0;
+  EXPECT_EQ(o.resolve_cache_bytes(), 7u << 20);
+  o.prefetch = 3;
+  EXPECT_EQ(o.resolve_prefetch(), 3u);
+  o.prefetch = 0;
+  EXPECT_EQ(o.resolve_prefetch(), 0u);
+  o.jobs = 5;
+  EXPECT_EQ(o.resolve_jobs(), 5u);
+
+  // Environment path: strict parse, garbage throws naming the variable.
+  setenv("FZMOD_READER_CACHE_MB", "3", 1);
+  setenv("FZMOD_READER_PREFETCH", "9", 1);
+  reader_options env_opt;
+  env_opt.prefetch = -1;
+  EXPECT_EQ(env_opt.resolve_cache_bytes(), 3u << 20);
+  EXPECT_EQ(env_opt.resolve_prefetch(), 9u);
+  setenv("FZMOD_READER_CACHE_MB", "lots", 1);
+  EXPECT_THROW((void)env_opt.resolve_cache_bytes(), error);
+  setenv("FZMOD_READER_PREFETCH", "-2", 1);
+  EXPECT_THROW((void)env_opt.resolve_prefetch(), error);
+  unsetenv("FZMOD_READER_CACHE_MB");
+  unsetenv("FZMOD_READER_PREFETCH");
+  EXPECT_EQ(env_opt.resolve_cache_bytes(), 256u << 20);  // defaults
+  EXPECT_EQ(env_opt.resolve_prefetch(), 2u);
+}
+
+}  // namespace
+}  // namespace fzmod::core

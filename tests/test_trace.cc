@@ -491,5 +491,30 @@ TEST(RuntimeStats, SnapshotInvariantsUnderContention) {
   for (auto& t : workers) t.join();
 }
 
+TEST(Trace, RingCapEnvParsesStrictly) {
+  // Regression: FZMOD_TRACE_BUF used to clamp garbage to the default and
+  // silently raise sub-minimum values to 16. Strict now: malformed or
+  // too-small values throw naming the variable. (The live collector
+  // resolves once at first use; this pins the parse contract itself.)
+  unsetenv("FZMOD_TRACE_BUF");
+  EXPECT_EQ(trace::resolve_ring_cap(), 65536u);
+  setenv("FZMOD_TRACE_BUF", "1024", 1);
+  EXPECT_EQ(trace::resolve_ring_cap(), 1024u);
+  setenv("FZMOD_TRACE_BUF", "16", 1);
+  EXPECT_EQ(trace::resolve_ring_cap(), 16u);
+  setenv("FZMOD_TRACE_BUF", "15", 1);
+  EXPECT_THROW((void)trace::resolve_ring_cap(), error);
+  setenv("FZMOD_TRACE_BUF", "64k", 1);
+  try {
+    (void)trace::resolve_ring_cap();
+    FAIL() << "expected invalid_argument";
+  } catch (const error& e) {
+    EXPECT_EQ(e.code(), status::invalid_argument);
+    EXPECT_NE(std::string(e.what()).find("FZMOD_TRACE_BUF"),
+              std::string::npos);
+  }
+  unsetenv("FZMOD_TRACE_BUF");
+}
+
 }  // namespace
 }  // namespace fzmod

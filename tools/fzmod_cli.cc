@@ -23,10 +23,12 @@
 #include <map>
 #include <string>
 
+#include "fzmod/common/env.hh"
 #include "fzmod/common/timer.hh"
 #include "fzmod/core/autotune.hh"
 #include "fzmod/core/chunked.hh"
 #include "fzmod/core/pipeline.hh"
+#include "fzmod/core/reader.hh"
 #include "fzmod/core/stf_pipeline.hh"
 #include "fzmod/data/datasets.hh"
 #include "fzmod/data/io.hh"
@@ -54,6 +56,10 @@ using namespace fzmod;
                "  (see docs/OBSERVABILITY.md)\n"
                "  fzmod decompress -i IN.fzmod -o OUT.f32 [--jobs N]"
                " [--range OFF,N] [--trace OUT.json]\n"
+               "                   [--reader-cache-mb N] [--prefetch N]"
+               " (seekable reader; docs/RUNTIME.md)\n"
+               "                   [--index OUT.fzx] [--use-index IN.fzx]"
+               " (sidecar chunk index)\n"
                "  fzmod inspect    -i IN.fzmod\n"
                "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
                " [--field N] -o OUT.f32\n"
@@ -98,6 +104,27 @@ class args {
  private:
   std::map<std::string, std::string> flags_;
 };
+
+/// Strict numeric flag: full-string unsigned parse (common::parse_u64);
+/// trailing garbage, signs, and overflow all exit with the flag name and
+/// offending text instead of being silently truncated or wrapped.
+u64 flag_u64(const args& a, const std::string& key) {
+  try {
+    return common::parse_u64(a.get(key), key);
+  } catch (const error& e) {
+    usage(e.what());
+  }
+}
+
+/// --range OFF,N: exactly one comma, both sides strict unsigned
+/// (common::parse_u64_pair semantics; unit-tested in test_common.cc).
+std::pair<u64, u64> parse_range(const std::string& s) {
+  try {
+    return common::parse_u64_pair(s, "--range");
+  } catch (const error& e) {
+    usage(e.what());
+  }
+}
 
 dims3 parse_dims(const std::string& s) {
   dims3 d{0, 1, 1};
@@ -197,13 +224,11 @@ void finish_trace(const trace_request& t) {
 core::chunked_options chunk_opts(const args& a) {
   core::chunked_options opt;
   if (a.has("--chunk-mb")) {
-    opt.chunk_mb = static_cast<std::size_t>(
-        std::strtoull(a.get("--chunk-mb").c_str(), nullptr, 10));
+    opt.chunk_mb = static_cast<std::size_t>(flag_u64(a, "--chunk-mb"));
     if (opt.chunk_mb == 0) usage("bad --chunk-mb: must be >= 1");
   }
   if (a.has("--jobs")) {
-    opt.jobs = static_cast<unsigned>(
-        std::strtoul(a.get("--jobs").c_str(), nullptr, 10));
+    opt.jobs = static_cast<unsigned>(flag_u64(a, "--jobs"));
     if (opt.jobs == 0) usage("bad --jobs: must be >= 1");
   }
   return opt;
@@ -241,19 +266,51 @@ int cmd_compress(const args& a) {
 
 int cmd_decompress(const args& a) {
   const auto archive = data::read_file(a.require("-i"));
-  core::chunked_pipeline<f32> pipe(core::pipeline_config{}, chunk_opts(a));
   const trace_request tr = parse_trace(a);
+  // Any reader-surface flag routes decoding through the seekable reader
+  // (LRU chunk cache + prefetch, docs/RUNTIME.md); otherwise the one-shot
+  // chunk-parallel decode path is used.
+  const bool use_reader = a.has("--range") || a.has("--reader-cache-mb") ||
+                          a.has("--prefetch") || a.has("--index") ||
+                          a.has("--use-index");
   stopwatch sw;
   std::vector<f32> field;
-  if (a.has("--range")) {
-    u64 off = 0, cnt = 0;
-    if (std::sscanf(a.get("--range").c_str(), "%llu,%llu",
-                    reinterpret_cast<unsigned long long*>(&off),
-                    reinterpret_cast<unsigned long long*>(&cnt)) != 2) {
-      usage(("bad --range: " + a.get("--range")).c_str());
+  if (use_reader) {
+    core::reader_options ropt;
+    if (a.has("--reader-cache-mb")) {
+      ropt.cache_mb = static_cast<std::size_t>(flag_u64(a, "--reader-cache-mb"));
     }
-    field = pipe.decompress_range(archive, off, cnt);
+    if (a.has("--prefetch")) {
+      ropt.prefetch = static_cast<int>(flag_u64(a, "--prefetch"));
+    }
+    if (a.has("--jobs")) {
+      ropt.jobs = static_cast<unsigned>(flag_u64(a, "--jobs"));
+      if (ropt.jobs == 0) usage("bad --jobs: must be >= 1");
+    }
+    std::vector<u8> index;
+    if (a.has("--use-index")) index = data::read_file(a.get("--use-index"));
+    reader<f32> r(archive, index, ropt);
+    if (a.has("--index")) {
+      data::write_file(a.get("--index"), r.export_index());
+    }
+    if (a.has("--range")) {
+      const auto [off, cnt] = parse_range(a.get("--range"));
+      field = r.read(off, cnt);
+    } else {
+      field = r.read(0, r.size());
+    }
+    const auto st = r.stats();
+    std::fprintf(stderr,
+                 "reader: %llu reads, hit rate %.1f%%, %llu evictions, "
+                 "prefetch %llu issued / %llu used%s\n",
+                 static_cast<unsigned long long>(st.reads),
+                 100.0 * st.hit_rate(),
+                 static_cast<unsigned long long>(st.evictions),
+                 static_cast<unsigned long long>(st.prefetch_issued),
+                 static_cast<unsigned long long>(st.prefetch_used),
+                 st.index_used ? ", index used" : "");
   } else {
+    core::chunked_pipeline<f32> pipe(core::pipeline_config{}, chunk_opts(a));
     field = pipe.decompress(archive);
   }
   const f64 t = sw.seconds();
