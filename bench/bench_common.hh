@@ -56,9 +56,67 @@ inline std::FILE* bench_json_stream() {
   return f;
 }
 
+/// Builder for one FZMOD_BENCH_JSON line with a bespoke shape. Opens with
+/// the binary's bench_json_name(), takes key/value fields fluently, and
+/// emit() appends the object to the sink (a silent no-op when the knob is
+/// unset — benches call it unconditionally). Keeps every bench's output
+/// machine-parsable without each binary hand-balancing fprintf braces.
+///
+///   bench::json_line().field("pool", true).field("ops_per_s", r).emit();
+class json_line {
+ public:
+  json_line() : buf_("{\"bench\":\"") {
+    buf_ += bench_json_name();
+    buf_ += '"';
+  }
+
+  json_line& field(const char* key, f64 v) {
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.6g", v);
+    return raw(key, num);
+  }
+  json_line& field(const char* key, u64 v) {
+    return raw(key, std::to_string(v).c_str());
+  }
+  json_line& field(const char* key, int v) {
+    return raw(key, std::to_string(v).c_str());
+  }
+  json_line& field(const char* key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  json_line& field(const char* key, const std::string& v) {
+    std::string quoted = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return raw(key, quoted.c_str());
+  }
+  json_line& field(const char* key, const char* v) {
+    return field(key, std::string(v));
+  }
+
+  void emit() {
+    if (std::FILE* f = bench_json_stream()) {
+      std::fprintf(f, "%s}\n", buf_.c_str());
+      std::fflush(f);
+    }
+  }
+
+ private:
+  json_line& raw(const char* key, const char* value) {
+    buf_ += ",\"";
+    buf_ += key;
+    buf_ += "\":";
+    buf_ += value;
+    return *this;
+  }
+  std::string buf_;
+};
+
 /// One JSON line per run_result. Called automatically by run_on_dataset;
-/// benches with bespoke result shapes write their own lines through
-/// bench_json_stream().
+/// benches with bespoke result shapes build lines with bench::json_line.
 inline void json_append(const std::string& label, const run_result& r) {
   std::FILE* f = bench_json_stream();
   if (!f) return;

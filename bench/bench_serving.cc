@@ -1,0 +1,273 @@
+// Serving-layer load bench: a closed-loop multi-threaded load generator
+// over `serve::server`, the end-to-end path production traffic takes
+// (admission queue -> tenant-fair scheduling -> pipeline pool -> optional
+// small-request batching). For each concurrency level it reports:
+//
+//   - p50 / p99 request latency (ms, measured at the client)
+//   - RPS (completed requests / wall time of the measured window)
+//   - runtime allocs/op   device-runtime pool misses per request over the
+//                         measured window; with the pool warm the serving
+//                         steady state must stay at 0 (the PR 1 contract,
+//                         now under concurrency)
+//   - batched / rejected counts from the server's own stats
+//
+// Self-gates (FZMOD_BENCH_CHECK=1 exits nonzero on violation):
+//   FZMOD_SERVE_MIN_RPS      floor on per-level RPS        (default 20)
+//   FZMOD_SERVE_MAX_P99_MS   ceiling on per-level p99      (default 2000)
+//   plus: steady-state runtime allocs/op must be 0, and nothing may be
+//   rejected (the bench sizes its queue so admission never trips).
+//
+// Other knobs: FZMOD_SERVE_BENCH_OPS ops per client thread (default 120),
+// FZMOD_SERVE_BENCH_WARMUP warmup ops (default 16), FZMOD_BENCH_JSON
+// appends one machine-readable line per level (the committed
+// bench_serving_evidence.json is this output).
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "fzmod/device/runtime.hh"
+#include "fzmod/serve/serve.hh"
+
+namespace fzmod {
+namespace {
+
+struct level_report {
+  int concurrency = 0;
+  u64 ops = 0;
+  f64 p50_ms = 0;
+  f64 p99_ms = 0;
+  f64 rps = 0;
+  f64 runtime_allocs_per_op = 0;
+  serve::server::stats_snapshot srv;
+};
+
+f64 percentile(std::vector<f64>& v, f64 p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t at = static_cast<std::size_t>(
+      p * static_cast<f64>(v.size() - 1) + 0.5);
+  return v[std::min(at, v.size() - 1)];
+}
+
+/// One closed-loop client: submit, wait, repeat. Three compresses then a
+/// decompress — the read-mostly-write mix a compression service sees.
+void client_loop(serve::server& srv, const std::vector<f32>& field, dims3 d,
+                 const std::vector<u8>& archive, const std::string& tenant,
+                 int ops, std::vector<f64>& latencies_ms, int& failures) {
+  latencies_ms.reserve(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    serve::request r;
+    r.tenant = tenant;
+    if (i % 4 == 3) {
+      r.kind = serve::request::op::decompress;
+      r.archive = archive;
+    } else {
+      r.kind = serve::request::op::compress;
+      r.data = field;
+      r.dims = d;
+    }
+    stopwatch sw;
+    const serve::response resp = srv.execute(std::move(r));
+    latencies_ms.push_back(1e3 * sw.seconds());
+    if (!resp.ok) ++failures;
+  }
+}
+
+level_report run_level(int concurrency, const std::vector<f32>& field,
+                       dims3 d, int warmup_ops, int ops_per_client) {
+  serve::server_options sopt;
+  sopt.pool.cap = static_cast<std::size_t>(std::max(concurrency, 1));
+  sopt.pool.warm = sopt.pool.cap;
+  sopt.workers = static_cast<unsigned>(std::max(concurrency, 1));
+  // Closed-loop clients have at most `concurrency` requests in flight, so
+  // this queue can never fill; any rejection is a bug the gate catches.
+  sopt.queue_depth = static_cast<std::size_t>(4 * concurrency + 8);
+  serve::server srv(
+      core::pipeline_config::preset_default({1e-3, eb_mode::rel}), sopt);
+  srv.warm(d);
+
+  // A reference archive for the decompress share of the mix.
+  serve::request cr;
+  cr.kind = serve::request::op::compress;
+  cr.data = field;
+  cr.dims = d;
+  const serve::response cresp = srv.execute(std::move(cr));
+  if (!cresp.ok) {
+    std::fprintf(stderr, "bench_serving: seed compress failed: %s\n",
+                 cresp.error.c_str());
+    std::exit(1);
+  }
+  const std::vector<u8> archive = cresp.archive;
+
+  // Warmup with the measured window's exact shape — same concurrency,
+  // same mix — so every steady-state path (pooled pipelines AND the
+  // coalesced-batch workers the concurrent mix triggers) has populated
+  // the caching allocator before counters reset.
+  {
+    std::vector<std::vector<f64>> sink(
+        static_cast<std::size_t>(concurrency));
+    std::vector<int> warm_failures(static_cast<std::size_t>(concurrency),
+                                   0);
+    std::vector<std::thread> warmers;
+    for (int c = 0; c < concurrency; ++c) {
+      warmers.emplace_back([&, c] {
+        client_loop(srv, field, d, archive,
+                    "client-" + std::to_string(c), warmup_ops,
+                    sink[static_cast<std::size_t>(c)],
+                    warm_failures[static_cast<std::size_t>(c)]);
+      });
+    }
+    for (auto& t : warmers) t.join();
+  }
+
+  auto& st = device::runtime::instance().stats();
+  st.reset_pool_counters();
+  const u64 miss0 =
+      st.device_pool.misses.load() + st.host_pool.misses.load();
+
+  std::vector<std::vector<f64>> lat(
+      static_cast<std::size_t>(concurrency));
+  std::vector<int> failures(static_cast<std::size_t>(concurrency), 0);
+  std::vector<std::thread> clients;
+  stopwatch sw;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      client_loop(srv, field, d, archive, "client-" + std::to_string(c),
+                  ops_per_client, lat[static_cast<std::size_t>(c)],
+                  failures[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  const f64 secs = sw.seconds();
+  const u64 miss1 =
+      st.device_pool.misses.load() + st.host_pool.misses.load();
+
+  level_report rep;
+  rep.concurrency = concurrency;
+  std::vector<f64> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  rep.ops = all.size();
+  rep.p50_ms = percentile(all, 0.50);
+  rep.p99_ms = percentile(all, 0.99);
+  rep.rps = static_cast<f64>(rep.ops) / secs;
+  rep.runtime_allocs_per_op =
+      static_cast<f64>(miss1 - miss0) / static_cast<f64>(rep.ops);
+  rep.srv = srv.stats();
+  for (const int f : failures) {
+    if (f) {
+      std::fprintf(stderr, "bench_serving: %d failed requests\n", f);
+      std::exit(1);
+    }
+  }
+  return rep;
+}
+
+int serving_bench_main() {
+  bench::bench_json_name() = "serving";
+  const dims3 d{64, 64, 16};
+  std::vector<f32> field(d.len());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const f64 x = static_cast<f64>(i % d.x) / d.x;
+    const f64 y = static_cast<f64>((i / d.x) % d.y) / d.y;
+    const f64 z = static_cast<f64>(i / (d.x * d.y)) / d.z;
+    field[i] = static_cast<f32>(std::sin(6.0 * x) * std::cos(4.0 * y) +
+                                0.3 * std::sin(9.0 * z));
+  }
+
+  const int warmup_ops = bench::env_int("FZMOD_SERVE_BENCH_WARMUP", 16);
+  const int ops_per_client = bench::env_int("FZMOD_SERVE_BENCH_OPS", 120);
+  const int levels[] = {1, 4};
+
+  bench::print_header(
+      "serving load bench — closed-loop clients over serve::server "
+      "(FZMod-Default, 64x64x16 f32, 3:1 compress:decompress)");
+  std::printf("%-12s %10s %10s %10s %10s %14s %9s %9s\n", "concurrency",
+              "ops", "p50 ms", "p99 ms", "RPS", "rt allocs/op", "batched",
+              "rejected");
+  bench::print_rule(92);
+
+  std::vector<level_report> reports;
+  for (const int conc : levels) {
+    const auto rep = run_level(conc, field, d, warmup_ops, ops_per_client);
+    const u64 rejected = rep.srv.rejected_full + rep.srv.rejected_deadline +
+                         rep.srv.rejected_shutdown + rep.srv.rejected_bad;
+    std::printf("%-12d %10llu %10.3f %10.3f %10.1f %14.3f %9llu %9llu\n",
+                rep.concurrency, static_cast<unsigned long long>(rep.ops),
+                rep.p50_ms, rep.p99_ms, rep.rps, rep.runtime_allocs_per_op,
+                static_cast<unsigned long long>(rep.srv.batched),
+                static_cast<unsigned long long>(rejected));
+    bench::json_line()
+        .field("concurrency", rep.concurrency)
+        .field("ops", rep.ops)
+        .field("p50_ms", rep.p50_ms)
+        .field("p99_ms", rep.p99_ms)
+        .field("rps", rep.rps)
+        .field("runtime_allocs_per_op", rep.runtime_allocs_per_op)
+        .field("batched", rep.srv.batched)
+        .field("batches", rep.srv.batches)
+        .field("rejected", rejected)
+        .field("admitted", rep.srv.admitted)
+        .field("peak_queue_depth", rep.srv.peak_depth)
+        .emit();
+    reports.push_back(rep);
+  }
+  bench::print_rule(92);
+  std::printf("scaling 1 -> %d clients: %.2fx RPS\n", levels[1],
+              reports[1].rps / reports[0].rps);
+
+  if (bench::env_int("FZMOD_BENCH_CHECK", 0)) {
+    const f64 min_rps =
+        static_cast<f64>(bench::env_int("FZMOD_SERVE_MIN_RPS", 20));
+    const f64 max_p99 =
+        static_cast<f64>(bench::env_int("FZMOD_SERVE_MAX_P99_MS", 2000));
+    int rc = 0;
+    for (const auto& rep : reports) {
+      if (rep.rps < min_rps) {
+        std::fprintf(stderr,
+                     "FZMOD_BENCH_CHECK: c=%d RPS %.1f below floor %.1f\n",
+                     rep.concurrency, rep.rps, min_rps);
+        rc = 1;
+      }
+      if (rep.p99_ms > max_p99) {
+        std::fprintf(
+            stderr,
+            "FZMOD_BENCH_CHECK: c=%d p99 %.1f ms above ceiling %.1f ms\n",
+            rep.concurrency, rep.p99_ms, max_p99);
+        rc = 1;
+      }
+      if (rep.runtime_allocs_per_op != 0.0) {
+        std::fprintf(stderr,
+                     "FZMOD_BENCH_CHECK: c=%d runtime allocs/op %.4f != 0 "
+                     "with a warm pool\n",
+                     rep.concurrency, rep.runtime_allocs_per_op);
+        rc = 1;
+      }
+      const u64 rejected = rep.srv.rejected_full +
+                           rep.srv.rejected_deadline +
+                           rep.srv.rejected_shutdown + rep.srv.rejected_bad;
+      if (rejected) {
+        std::fprintf(stderr,
+                     "FZMOD_BENCH_CHECK: c=%d rejected %llu requests from "
+                     "an unsaturatable queue\n",
+                     rep.concurrency,
+                     static_cast<unsigned long long>(rejected));
+        rc = 1;
+      }
+    }
+    if (rc == 0) {
+      std::printf(
+          "FZMOD_BENCH_CHECK: RPS >= %.0f, p99 <= %.0f ms, 0 runtime "
+          "allocs/op, 0 rejections — ok\n",
+          min_rps, max_p99);
+    }
+    return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fzmod
+
+int main() { return fzmod::serving_bench_main(); }

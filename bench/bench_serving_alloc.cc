@@ -185,19 +185,16 @@ int serving_main() {
       on.ops_per_s / off.ops_per_s, off.allocs_per_op, on.allocs_per_op,
       off.runtime_allocs_per_op, on.runtime_allocs_per_op);
 
-  if (std::FILE* f = bench::bench_json_stream()) {
-    for (const auto* m : {&off, &on}) {
-      std::fprintf(
-          f,
-          "{\"bench\":\"serving_alloc\",\"pool\":%s,"
-          "\"allocs_per_op\":%.3f,\"runtime_allocs_per_op\":%.4f,"
-          "\"hit_rate\":%.4f,\"ops_per_s\":%.2f,\"gbps\":%.4f,"
-          "\"measured_ops\":%d}\n",
-          m == &on ? "true" : "false", m->allocs_per_op,
-          m->runtime_allocs_per_op, m->hit_rate, m->ops_per_s, m->gbps,
-          measured_ops);
-    }
-    std::fflush(f);
+  for (const auto* m : {&off, &on}) {
+    bench::json_line()
+        .field("pool", m == &on)
+        .field("allocs_per_op", m->allocs_per_op)
+        .field("runtime_allocs_per_op", m->runtime_allocs_per_op)
+        .field("hit_rate", m->hit_rate)
+        .field("ops_per_s", m->ops_per_s)
+        .field("gbps", m->gbps)
+        .field("measured_ops", measured_ops)
+        .emit();
   }
 
   if (bench::env_int("FZMOD_BENCH_CHECK", 0)) {

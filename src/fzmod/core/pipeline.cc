@@ -133,26 +133,10 @@ pipeline<T>::pipeline(pipeline_config cfg) : cfg_(std::move(cfg)) {
 template <class T>
 pipeline<T>::~pipeline() = default;
 
-namespace {
-/// RAII over the pipeline's busy flag: entering a compress/decompress call
-/// while another is in flight on the same object would corrupt the shared
-/// member scratch, so it throws instead.
-struct busy_scope {
-  std::atomic<bool>& flag;
-  explicit busy_scope(detail::busy_flag& f) : flag(f.v) {
-    FZMOD_REQUIRE(!flag.exchange(true, std::memory_order_acquire),
-                  status::invalid_argument,
-                  "pipeline: concurrent call on one pipeline object — use "
-                  "one pipeline per thread");
-  }
-  ~busy_scope() { flag.store(false, std::memory_order_release); }
-};
-}  // namespace
-
 template <class T>
 std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
                                       dims3 dims, device::stream& s) {
-  const busy_scope in_call(busy_);
+  const detail::busy_scope in_call(busy_);
   FZMOD_REQUIRE(data.size() == dims.len(), status::invalid_argument,
                 "pipeline: data size does not match dims");
   FZMOD_TRACE_SPAN("pipeline", "compress");
@@ -319,7 +303,7 @@ std::vector<u8> pipeline<T>::compress(std::span<const T> host_data,
 template <class T>
 void pipeline<T>::decompress(std::span<const u8> archive,
                              device::buffer<T>& out, device::stream& s) {
-  const busy_scope in_call(busy_);
+  const detail::busy_scope in_call(busy_);
   FZMOD_TRACE_SPAN("pipeline", "decompress");
   stopwatch sw;
   const fmt::outer_view ov = fmt::parse_outer(archive);

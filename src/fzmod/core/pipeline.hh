@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "fzmod/common/error.hh"
 #include "fzmod/core/config.hh"
 #include "fzmod/core/registry.hh"
 
@@ -28,6 +29,33 @@ struct busy_flag {
   busy_flag() = default;
   busy_flag(busy_flag&&) noexcept {}
   busy_flag& operator=(busy_flag&&) noexcept { return *this; }
+
+  /// One-shot entry attempt; false means another call is in flight.
+  [[nodiscard]] bool try_enter() {
+    return !v.exchange(true, std::memory_order_acquire);
+  }
+  void leave() { v.store(false, std::memory_order_release); }
+};
+
+/// RAII over a busy_flag: every compress/decompress entry point holds one
+/// of these for its whole duration, so a throwing call releases the flag
+/// on unwind and can never leave a pipeline permanently "busy" — the
+/// property the serving layer's pipeline pool depends on to reuse a
+/// pipeline after a failed request. Entering while another call is in
+/// flight throws instead of corrupting the shared member scratch.
+class busy_scope {
+ public:
+  explicit busy_scope(busy_flag& f) : flag_(f) {
+    FZMOD_REQUIRE(flag_.try_enter(), status::invalid_argument,
+                  "pipeline: concurrent call on one pipeline object — use "
+                  "one pipeline per thread");
+  }
+  ~busy_scope() { flag_.leave(); }
+  busy_scope(const busy_scope&) = delete;
+  busy_scope& operator=(const busy_scope&) = delete;
+
+ private:
+  busy_flag& flag_;
 };
 }  // namespace detail
 

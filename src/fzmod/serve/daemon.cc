@@ -1,0 +1,272 @@
+// FZModules — serving daemon implementation (see daemon.hh for the wire
+// format). POSIX-only socket plumbing; the protocol handler itself is
+// platform-neutral and unit-tested directly.
+
+#include "fzmod/serve/daemon.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace fzmod::serve {
+
+namespace {
+
+template <class T>
+bool take(std::span<const u8>& in, T& out) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&out, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+void put_bytes(std::vector<u8>& out, const void* p, std::size_t n) {
+  const u8* b = static_cast<const u8*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+std::vector<u8> status_body(u8 status, std::string_view text) {
+  std::vector<u8> body;
+  body.reserve(1 + text.size());
+  body.push_back(status);
+  put_bytes(body, text.data(), text.size());
+  return body;
+}
+
+}  // namespace
+
+std::vector<u8> handle_request_body(server& srv, std::span<const u8> body,
+                                    bool& want_shutdown) {
+  u8 op = 0, tenant_len = 0;
+  if (!take(body, op) || !take(body, tenant_len) ||
+      body.size() < tenant_len) {
+    return status_body(static_cast<u8>(reject_reason::bad_request),
+                       "truncated frame header");
+  }
+  request r;
+  r.tenant.assign(reinterpret_cast<const char*>(body.data()), tenant_len);
+  body = body.subspan(tenant_len);
+
+  switch (op) {
+    case op_ping:
+      return status_body(wire_ok, "");
+    case op_shutdown:
+      want_shutdown = true;
+      return status_body(wire_ok, "");
+    case op_compress: {
+      u64 x = 0, y = 0, z = 0;
+      if (!take(body, x) || !take(body, y) || !take(body, z)) {
+        return status_body(static_cast<u8>(reject_reason::bad_request),
+                           "compress frame: truncated dims");
+      }
+      r.kind = request::op::compress;
+      r.dims = dims3{static_cast<std::size_t>(x),
+                     static_cast<std::size_t>(y),
+                     static_cast<std::size_t>(z)};
+      if (r.dims.len_invalid() || body.size() != r.dims.len() * sizeof(f32)) {
+        return status_body(static_cast<u8>(reject_reason::bad_request),
+                           "compress frame: payload does not match dims");
+      }
+      r.data.resize(r.dims.len());
+      std::memcpy(r.data.data(), body.data(), body.size());
+      break;
+    }
+    case op_decompress: {
+      if (body.empty()) {
+        return status_body(static_cast<u8>(reject_reason::bad_request),
+                           "decompress frame: empty archive");
+      }
+      r.kind = request::op::decompress;
+      r.archive.assign(body.begin(), body.end());
+      break;
+    }
+    default:
+      return status_body(static_cast<u8>(reject_reason::bad_request),
+                         "unknown op");
+  }
+
+  response resp = srv.execute(std::move(r));
+  if (!resp.ok) {
+    if (resp.reason != reject_reason::none) {
+      return status_body(static_cast<u8>(resp.reason),
+                         to_string(resp.reason));
+    }
+    return status_body(wire_error, resp.error);
+  }
+  std::vector<u8> out;
+  if (op == op_compress) {
+    out.reserve(1 + resp.archive.size());
+    out.push_back(wire_ok);
+    put_bytes(out, resp.archive.data(), resp.archive.size());
+  } else {
+    out.reserve(1 + resp.data.size() * sizeof(f32));
+    out.push_back(wire_ok);
+    put_bytes(out, resp.data.data(), resp.data.size() * sizeof(f32));
+  }
+  return out;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  u8* p = static_cast<u8*>(buf);
+  while (n) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got == 0) return false;  // clean EOF
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const u8* p = static_cast<const u8*>(buf);
+  while (n) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// One framed request/response exchange. Returns false when the
+/// connection should close (EOF, protocol violation, write failure).
+bool serve_one_frame(server& srv, int in_fd, int out_fd,
+                     bool& want_shutdown) {
+  u64 body_len = 0;
+  if (!read_exact(in_fd, &body_len, sizeof(body_len))) return false;
+  if (body_len == 0 || body_len > max_frame_bytes) {
+    std::fprintf(stderr, "fzmod serve: dropping connection: frame of %llu"
+                         " bytes exceeds the %llu-byte cap\n",
+                 static_cast<unsigned long long>(body_len),
+                 static_cast<unsigned long long>(max_frame_bytes));
+    return false;
+  }
+  std::vector<u8> body(static_cast<std::size_t>(body_len));
+  if (!read_exact(in_fd, body.data(), body.size())) return false;
+  const std::vector<u8> out = handle_request_body(srv, body, want_shutdown);
+  const u64 out_len = out.size();
+  if (!write_all(out_fd, &out_len, sizeof(out_len))) return false;
+  if (!write_all(out_fd, out.data(), out.size())) return false;
+  return !want_shutdown;
+}
+
+int run_stdio(server& srv) {
+  bool want_shutdown = false;
+  while (serve_one_frame(srv, 0, 1, want_shutdown)) {
+  }
+  srv.stop();
+  return 0;
+}
+
+int run_socket(server& srv, const std::string& path) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("fzmod serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "fzmod serve: socket path too long: %s\n",
+                 path.c_str());
+    ::close(listen_fd);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("fzmod serve: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "fzmod serve: listening on %s\n", path.c_str());
+
+  std::mutex conn_mu;
+  std::vector<int> open_conns;
+  std::atomic<bool> stopping{false};
+
+  std::vector<std::thread> conns;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by the shutdown path below
+    }
+    if (stopping.load()) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard lk(conn_mu);
+      open_conns.push_back(fd);
+    }
+    conns.emplace_back([&, fd] {
+      bool want_shutdown = false;
+      while (serve_one_frame(srv, fd, fd, want_shutdown)) {
+      }
+      ::close(fd);
+      if (want_shutdown && !stopping.exchange(true)) {
+        // Unblock accept() and poke every open connection so their
+        // threads observe the closed socket and join promptly.
+        ::shutdown(listen_fd, SHUT_RDWR);
+        std::lock_guard lk(conn_mu);
+        for (const int c : open_conns) {
+          if (c != fd) ::shutdown(c, SHUT_RDWR);
+        }
+      }
+    });
+  }
+  for (auto& t : conns) t.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  srv.stop();
+  std::fprintf(stderr, "fzmod serve: shut down cleanly\n");
+  return 0;
+}
+
+}  // namespace
+
+int run_daemon(const daemon_options& opt) {
+  server srv(opt.cfg, opt.server);
+  if (opt.warm_dims.x && !opt.warm_dims.len_invalid()) {
+    srv.warm(opt.warm_dims);
+  }
+  if (opt.socket_path.empty()) return run_stdio(srv);
+  return run_socket(srv, opt.socket_path);
+}
+
+#else  // _WIN32: no AF_UNIX plumbing; the serving API itself is portable.
+
+int run_daemon(const daemon_options&) {
+  std::fprintf(stderr, "fzmod serve: daemon mode requires POSIX sockets\n");
+  return 1;
+}
+
+#endif
+
+}  // namespace fzmod::serve

@@ -1,0 +1,271 @@
+// FZModules — concurrent serving layer (docs/SERVING.md).
+//
+// A single `core::pipeline<T>` is deliberately not thread-safe: its stage
+// scratch is retained in members so steady-state requests run at zero
+// allocations, and its busy-flag guard turns accidental sharing into an
+// immediate error. Production traffic (ROADMAP north star) needs many
+// compress/decompress requests in flight at once, which this layer
+// provides without giving up the zero-allocation contract:
+//
+//   - `pipeline_pool<T>` keeps a set of pre-warmed pipelines resident.
+//     Checkout/checkin is an RAII `lease`; each pooled pipeline retains
+//     its scratch (and its blocks in the runtime's caching allocator)
+//     across requests, so a warm pool serves steady-state requests with
+//     zero runtime allocations per op — the PR 1 contract, now concurrent.
+//
+//   - `server` puts a bounded, admission-controlled request queue in
+//     front of the pool: configurable depth (`FZMOD_SERVE_QUEUE`),
+//     per-request deadlines (`FZMOD_SERVE_DEADLINE_MS`), and
+//     reject-with-reason when the queue is full, the deadline has passed,
+//     or the server is shutting down. Scheduling across tenants (named
+//     fields / users sharing the device runtime) is fair: one FIFO per
+//     tenant, served round-robin, so one tenant's flood cannot starve
+//     another's trickle.
+//
+//   - Small compress requests (at most `batch_elems` elements) that are
+//     queued together and share a shape are coalesced into ONE
+//     `core::chunked_pipeline` run — the same amortization FZ-GPU and
+//     cuSZ make for batching kernel work. Each request becomes exactly
+//     one chunk of the combined field, so the demuxed per-chunk archives
+//     are byte-identical to compressing each request individually
+//     (chunk archives are standalone v2 archives; a relative bound
+//     resolves against the chunk's own value range, which IS the
+//     request's data).
+//
+// Everything is observable through the trace subsystem: per-request
+// "serve" spans, `serve.queue.depth` occupancy samples, and cumulative
+// `serve.admitted` / `serve.rejected` / `serve.batched` counters
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fzmod/core/pipeline.hh"
+
+namespace fzmod::serve {
+
+// ---------------------------------------------------------------------------
+// Pipeline pool
+
+/// Pool sizing. Zero means "resolve from the environment, then fall back
+/// to the default": FZMOD_SERVE_POOL caps resident pipelines (default 4),
+/// FZMOD_SERVE_WARM pre-constructs that many at pool creation (default 1,
+/// clamped to the cap).
+struct pool_options {
+  std::size_t cap = 0;
+  std::size_t warm = 0;
+
+  [[nodiscard]] std::size_t resolve_cap() const;
+  [[nodiscard]] std::size_t resolve_warm() const;
+};
+
+/// Process-wide count of leases that outlived their pool (a served
+/// request holding a pipeline past server shutdown is a bug; the pool
+/// detects it instead of crashing). Monotonic; tests read deltas.
+[[nodiscard]] u64 pool_leaked_leases();
+
+template <class T>
+class pipeline_pool {
+ public:
+  /// Construct with the pipeline configuration every pooled instance
+  /// shares. Resolves module names eagerly for the warm set, so a bad
+  /// config throws here rather than on first checkout.
+  explicit pipeline_pool(core::pipeline_config cfg, pool_options opt = {});
+
+  /// Destruction detects leaked leases (outstanding checkouts) rather
+  /// than blocking on them: the shared state keeps their pipelines alive
+  /// until the lease drops, and `pool_leaked_leases()` counts them.
+  ~pipeline_pool();
+
+  pipeline_pool(const pipeline_pool&) = delete;
+  pipeline_pool& operator=(const pipeline_pool&) = delete;
+
+  struct state;  // shared with leases so a lease can outlive the pool
+
+  /// RAII checkout: holds exclusive use of one pooled pipeline, returns
+  /// it on destruction. Movable; a moved-from lease is empty.
+  class lease {
+   public:
+    lease() = default;
+    lease(lease&&) noexcept = default;
+    lease& operator=(lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        st_ = std::move(other.st_);
+        p_ = std::move(other.p_);
+      }
+      return *this;
+    }
+    ~lease() { release(); }
+
+    [[nodiscard]] core::pipeline<T>& operator*() const { return *p_; }
+    [[nodiscard]] core::pipeline<T>* operator->() const { return p_.get(); }
+    [[nodiscard]] explicit operator bool() const { return p_ != nullptr; }
+
+   private:
+    friend class pipeline_pool;
+    lease(std::shared_ptr<state> st, std::unique_ptr<core::pipeline<T>> p)
+        : st_(std::move(st)), p_(std::move(p)) {}
+    void release();
+
+    std::shared_ptr<state> st_;
+    std::unique_ptr<core::pipeline<T>> p_;
+  };
+
+  /// Check out a pipeline: reuse an idle one, lazily construct while the
+  /// pool is below its cap, otherwise block until a lease returns.
+  /// Throws status::invalid_argument after the pool is destroyed.
+  [[nodiscard]] lease acquire();
+
+  /// Non-blocking acquire: empty optional when the pool is at its cap
+  /// with every pipeline checked out.
+  [[nodiscard]] std::optional<lease> try_acquire();
+
+  /// Run one synthetic compress+decompress of shape `dims` on every idle
+  /// pipeline, populating its retained scratch and the caching allocator
+  /// so the first real requests already hit warm paths.
+  void warm_up(dims3 dims);
+
+  struct stats_snapshot {
+    u64 created = 0;       ///< pipelines constructed over the pool's life
+    u64 reuses = 0;        ///< checkouts served by an idle pipeline
+    u64 outstanding = 0;   ///< leases currently held
+    u64 peak_outstanding = 0;
+  };
+  [[nodiscard]] stats_snapshot stats() const;
+
+  [[nodiscard]] std::size_t capacity() const;
+
+  [[nodiscard]] const core::pipeline_config& config() const;
+
+ private:
+  std::shared_ptr<state> st_;
+};
+
+// ---------------------------------------------------------------------------
+// Server: admission-controlled request queue over the pool
+
+/// Why a request was not served. `none` on success.
+enum class reject_reason : u8 {
+  none = 0,
+  queue_full,   ///< bounded queue at FZMOD_SERVE_QUEUE depth
+  deadline,     ///< expired in the queue before a worker picked it up
+  shutdown,     ///< server stopping; no new admissions
+  bad_request,  ///< malformed (size/dims mismatch, empty archive)
+};
+[[nodiscard]] const char* to_string(reject_reason r);
+
+struct request {
+  enum class op : u8 { compress, decompress };
+  op kind = op::compress;
+  /// Admission is FIFO within a tenant and round-robin across tenants;
+  /// "" is the default tenant.
+  std::string tenant;
+  std::vector<f32> data;     ///< compress payload (owned)
+  dims3 dims;                ///< compress shape; data.size() must match
+  std::vector<u8> archive;   ///< decompress payload (owned)
+  /// Per-request deadline override in ms from submission; 0 uses the
+  /// server default (which may be "none").
+  u64 deadline_ms = 0;
+};
+
+struct response {
+  bool ok = false;
+  reject_reason reason = reject_reason::none;
+  std::string error;         ///< exception text when execution failed
+  std::vector<u8> archive;   ///< compress result
+  std::vector<f32> data;     ///< decompress result
+  f64 queue_ms = 0;          ///< admission -> worker pickup
+  f64 exec_ms = 0;           ///< pipeline execution
+  bool batched = false;      ///< served by a coalesced chunked run
+  u64 order = 0;             ///< global completion sequence number
+};
+
+/// Serving knobs. Zero means "resolve from the environment, then fall
+/// back to the default" (all FZMOD_SERVE_* variables parse through the
+/// strict common::env_u64 path — garbage throws, docs/SERVING.md):
+///   queue_depth  FZMOD_SERVE_QUEUE        default 64
+///   deadline_ms  FZMOD_SERVE_DEADLINE_MS  default 0 (no deadline)
+///   batch_elems  FZMOD_SERVE_BATCH        default 65536 elements
+///   batch_max    FZMOD_SERVE_BATCH_MAX    default 8 requests (1 disables
+///                                         batching)
+///   workers      FZMOD_SERVE_WORKERS      default 2
+struct server_options {
+  pool_options pool;
+  std::size_t queue_depth = 0;
+  u64 deadline_ms = 0;
+  std::size_t batch_elems = 0;
+  std::size_t batch_max = 0;
+  unsigned workers = 0;
+
+  [[nodiscard]] std::size_t resolve_queue_depth() const;
+  [[nodiscard]] u64 resolve_deadline_ms() const;
+  [[nodiscard]] std::size_t resolve_batch_elems() const;
+  [[nodiscard]] std::size_t resolve_batch_max() const;
+  [[nodiscard]] unsigned resolve_workers() const;
+};
+
+/// The serving front end: N worker threads drain the admission queue
+/// through a pipeline_pool. The payload type is f32 — the type every
+/// SDRBench field and the wire protocol use; decompression accepts any
+/// archive version (v3 containers route through the chunked driver).
+class server {
+ public:
+  explicit server(core::pipeline_config cfg, server_options opt = {});
+  /// Stops admissions, drains queued work, joins the workers.
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Admission control happens here, synchronously: a rejected request's
+  /// future is already satisfied when submit returns. Admitted requests
+  /// complete when a worker serves them.
+  [[nodiscard]] std::future<response> submit(request r);
+
+  /// Convenience for closed-loop callers: submit and wait.
+  [[nodiscard]] response execute(request r) { return submit(std::move(r)).get(); }
+
+  /// Stop admitting, serve everything already queued, then park the
+  /// workers. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Deterministic pre-warm for requests of shape `d`: grows the pool to
+  /// its cap and runs a synthetic compress+decompress on every pipeline,
+  /// then — with the whole pool still checked out — replicates the
+  /// worst-case coalesced-batch load (`workers` concurrent chunked runs
+  /// of `batch_max` stacked requests). After this, the caching allocator
+  /// holds at least the peak block demand any admissible traffic of this
+  /// shape can create, so steady-state serving runs at zero runtime
+  /// allocations per op. Call before taking traffic; requests submitted
+  /// concurrently just queue behind it.
+  void warm(dims3 d);
+
+  struct stats_snapshot {
+    u64 admitted = 0;
+    u64 rejected_full = 0;
+    u64 rejected_deadline = 0;
+    u64 rejected_shutdown = 0;
+    u64 rejected_bad = 0;
+    u64 completed = 0;      ///< requests answered (served or failed)
+    u64 batched = 0;        ///< requests served via a coalesced run
+    u64 batches = 0;        ///< coalesced runs executed
+    u64 queue_depth = 0;    ///< currently queued
+    u64 peak_depth = 0;
+  };
+  [[nodiscard]] stats_snapshot stats() const;
+
+  [[nodiscard]] pipeline_pool<f32>& pool();
+  [[nodiscard]] const core::pipeline_config& config() const;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace fzmod::serve

@@ -12,6 +12,8 @@
 //   fzmod gen        --dataset cesm|hacc|hurr|nyx [--field N] -o out.f32
 //   fzmod verify     -i field.fzmod               (archive integrity)
 //   fzmod verify     -a orig.f32 -b recon.f32 --dims X[,Y[,Z]]
+//   fzmod serve      --socket /path.sock | --stdio   (daemon mode; the
+//                    length-prefixed protocol is specced in docs/SERVING.md)
 //   fzmod selftest   (end-to-end roundtrip in a temp dir; used by ctest)
 //
 // Input fields are headerless little-endian f32 (the SDRBench layout);
@@ -33,6 +35,7 @@
 #include "fzmod/data/datasets.hh"
 #include "fzmod/data/io.hh"
 #include "fzmod/metrics/metrics.hh"
+#include "fzmod/serve/daemon.hh"
 #include "fzmod/trace/trace.hh"
 
 namespace {
@@ -67,6 +70,14 @@ using namespace fzmod;
                " integrity)\n"
                "  fzmod verify     -a ORIG.f32 -b RECON.f32 --dims"
                " X[,Y[,Z]]\n"
+               "  fzmod serve      --socket PATH | --stdio  [--eb B]"
+               " [--mode rel|abs] [--preset P]\n"
+               "                   [--pool N] [--warm N] [--queue N]"
+               " [--deadline-ms N]\n"
+               "                   [--batch N] [--batch-max N]"
+               " [--workers N] [--warm-dims X,Y,Z]\n"
+               "                   (daemon mode; protocol in"
+               " docs/SERVING.md)\n"
                "  fzmod selftest\n");
   std::exit(2);
 }
@@ -78,7 +89,7 @@ class args {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind('-', 0) != 0) usage(("unexpected token: " + key).c_str());
-      if (key == "--secondary") {
+      if (key == "--secondary" || key == "--stdio") {
         flags_[key] = "1";
         continue;
       }
@@ -434,6 +445,45 @@ int cmd_verify(const args& a) {
   return 0;
 }
 
+int cmd_serve(const args& a) {
+  if (!a.has("--socket") && !a.has("--stdio")) {
+    usage("serve needs --socket PATH or --stdio");
+  }
+  serve::daemon_options opt;
+  opt.socket_path = a.get("--socket");
+
+  // The daemon's pipeline config: the same knobs as `compress`, minus the
+  // per-field ones (pwrel and autotune need the data up front; serving
+  // resolves rel bounds per request instead).
+  const f64 eb = std::atof(a.get("--eb", "1e-4").c_str());
+  const std::string mode = a.get("--mode", "rel");
+  if (mode != "rel" && mode != "abs") usage(("bad --mode: " + mode).c_str());
+  const eb_config ebc{eb, mode == "abs" ? eb_mode::abs : eb_mode::rel};
+  const std::string preset = a.get("--preset", "default");
+  if (preset == "default") {
+    opt.cfg = core::pipeline_config::preset_default(ebc);
+  } else if (preset == "speed") {
+    opt.cfg = core::pipeline_config::preset_speed(ebc);
+  } else if (preset == "quality") {
+    opt.cfg = core::pipeline_config::preset_quality(ebc);
+  } else {
+    usage(("bad --preset: " + preset).c_str());
+  }
+
+  // CLI flags override the FZMOD_SERVE_* environment (docs/SERVING.md).
+  if (a.has("--pool")) opt.server.pool.cap = flag_u64(a, "--pool");
+  if (a.has("--warm")) opt.server.pool.warm = flag_u64(a, "--warm");
+  if (a.has("--queue")) opt.server.queue_depth = flag_u64(a, "--queue");
+  if (a.has("--deadline-ms")) {
+    opt.server.deadline_ms = flag_u64(a, "--deadline-ms");
+  }
+  if (a.has("--batch")) opt.server.batch_elems = flag_u64(a, "--batch");
+  if (a.has("--batch-max")) opt.server.batch_max = flag_u64(a, "--batch-max");
+  if (a.has("--workers")) opt.server.workers = flag_u64(a, "--workers");
+  if (a.has("--warm-dims")) opt.warm_dims = parse_dims(a.get("--warm-dims"));
+  return serve::run_daemon(opt);
+}
+
 int cmd_selftest() {
   namespace fs = std::filesystem;
   const auto dir = fs::temp_directory_path() / "fzmod_cli_selftest";
@@ -474,6 +524,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(a);
     if (cmd == "gen") return cmd_gen(a);
     if (cmd == "verify") return cmd_verify(a);
+    if (cmd == "serve") return cmd_serve(a);
     if (cmd == "selftest") return cmd_selftest();
     usage(("unknown command: " + cmd).c_str());
   } catch (const error& e) {

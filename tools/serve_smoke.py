@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Daemon smoke test: round-trip one compress + decompress over the
+`fzmod serve` Unix socket, then shut the daemon down cleanly.
+
+    ./build/tools/fzmod serve --socket /tmp/fzmod.sock &
+    python3 tools/serve_smoke.py /tmp/fzmod.sock
+    wait $!   # daemon must exit 0 after the shutdown frame
+
+Speaks the length-prefixed wire format documented in docs/SERVING.md:
+request  [u64 body_len][u8 op][u8 tenant_len][tenant][...]; response
+[u64 body_len][u8 status][payload], status 0 = ok. Exits nonzero on any
+protocol error or when the reconstruction violates the error bound.
+"""
+import math
+import socket
+import struct
+import sys
+import time
+
+OP_COMPRESS, OP_DECOMPRESS, OP_PING, OP_SHUTDOWN = 1, 2, 3, 4
+DIMS = (48, 32, 2)
+REL_EB = 1e-4  # the daemon's default error bound (fzmod serve --eb)
+
+
+def connect(path, timeout_s=10.0):
+    """The daemon may still be binding its socket; retry briefly."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            s.connect(path)
+            return s
+        except OSError:
+            s.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def roundtrip(sock, op, payload, tenant=b"smoke"):
+    body = struct.pack("<BB", op, len(tenant)) + tenant + payload
+    sock.sendall(struct.pack("<Q", len(body)) + body)
+    hdr = recv_exact(sock, 8)
+    (body_len,) = struct.unpack("<Q", hdr)
+    resp = recv_exact(sock, body_len)
+    return resp[0], resp[1:]
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        got = sock.recv(n - len(buf))
+        if not got:
+            raise ConnectionError("daemon closed the connection mid-frame")
+        buf += got
+    return buf
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <socket-path>", file=sys.stderr)
+        return 2
+    sock = connect(sys.argv[1])
+
+    status, _ = roundtrip(sock, OP_PING, b"")
+    assert status == 0, f"ping failed with status {status}"
+
+    nx, ny, nz = DIMS
+    n = nx * ny * nz
+    field = [
+        math.sin(0.004 * i) * 25 + 0.3 * math.cos(0.05 * i) for i in range(n)
+    ]
+    payload = struct.pack("<QQQ", nx, ny, nz) + struct.pack(f"<{n}f", *field)
+    status, archive = roundtrip(sock, OP_COMPRESS, payload)
+    assert status == 0, f"compress failed with status {status}: {archive!r}"
+    assert 0 < len(archive) < 4 * n, "archive missing or larger than raw"
+
+    status, raw = roundtrip(sock, OP_DECOMPRESS, archive)
+    assert status == 0, f"decompress failed with status {status}: {raw!r}"
+    assert len(raw) == 4 * n, f"expected {4 * n} bytes, got {len(raw)}"
+    recon = struct.unpack(f"<{n}f", raw)
+    # The wire carries f32, so `field`'s doubles were quantized once on
+    # pack; 5% slack over the relative bound absorbs that plus f32
+    # round-off in the codec (same allowance the C++ tests make).
+    rng = max(field) - min(field)
+    bound = REL_EB * rng * 1.05 + 1e-5
+    worst = max(abs(a - b) for a, b in zip(field, recon))
+    assert worst <= bound, f"max abs err {worst:g} exceeds bound {bound:g}"
+
+    status, _ = roundtrip(sock, OP_SHUTDOWN, b"")
+    assert status == 0, f"shutdown failed with status {status}"
+    sock.close()
+    print(
+        f"serve_smoke: ok — {4 * n} -> {len(archive)} bytes, "
+        f"max abs err {worst:.3e} within {bound:.3e}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
