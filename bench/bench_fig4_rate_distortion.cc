@@ -9,7 +9,12 @@
 
 int main() {
   using namespace fzmod;
-  const auto names = baselines::all_names();
+  auto names = baselines::all_names();
+  // Spec-driven lines (new stage families) ride along after the paper's
+  // seven columns; all_names() itself stays the paper set.
+  for (const auto& line : baselines::spec_matrix_lines()) {
+    names.push_back(line.first);
+  }
   const f64 bounds[] = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
   const auto catalog = data::catalog(data::fullscale_requested());
 

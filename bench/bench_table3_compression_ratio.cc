@@ -11,7 +11,12 @@
 
 int main() {
   using namespace fzmod;
-  const auto names = baselines::all_names();
+  auto names = baselines::all_names();
+  // Spec-driven lines (new stage families) ride along after the paper's
+  // seven columns; all_names() itself stays the paper set.
+  for (const auto& line : baselines::spec_matrix_lines()) {
+    names.push_back(line.first);
+  }
   const f64 bounds[] = {1e-2, 1e-4, 1e-6};
   const int nfields = bench::fields_per_dataset();
 

@@ -1,7 +1,10 @@
 #include "fzmod/baselines/compressor.hh"
 
+#include <cctype>
+
 #include "fzmod/common/error.hh"
 #include "fzmod/core/pipeline.hh"
+#include "fzmod/spec/spec.hh"
 
 namespace fzmod::baselines {
 namespace {
@@ -9,34 +12,18 @@ namespace {
 /// Adapts a core::pipeline preset to the uniform harness interface.
 class fzmod_pipeline_compressor final : public compressor {
  public:
-  enum class preset { def, speed, quality };
+  explicit fzmod_pipeline_compressor(std::string preset)
+      : preset_(std::move(preset)),
+        display_("FZMod-" +
+                 std::string(1, static_cast<char>(
+                                    std::toupper(preset_.front()))) +
+                 preset_.substr(1)) {}
 
-  explicit fzmod_pipeline_compressor(preset p) : preset_(p) {}
-
-  [[nodiscard]] std::string_view name() const override {
-    switch (preset_) {
-      case preset::def: return "FZMod-Default";
-      case preset::speed: return "FZMod-Speed";
-      case preset::quality: return "FZMod-Quality";
-    }
-    return "FZMod";
-  }
+  [[nodiscard]] std::string_view name() const override { return display_; }
 
   [[nodiscard]] std::vector<u8> compress(std::span<const f32> data,
                                          dims3 dims, eb_config eb) override {
-    core::pipeline_config cfg;
-    switch (preset_) {
-      case preset::def:
-        cfg = core::pipeline_config::preset_default(eb);
-        break;
-      case preset::speed:
-        cfg = core::pipeline_config::preset_speed(eb);
-        break;
-      case preset::quality:
-        cfg = core::pipeline_config::preset_quality(eb);
-        break;
-    }
-    core::pipeline<f32> p(cfg);
+    core::pipeline<f32> p(core::pipeline_config::preset(preset_, eb));
     return p.compress(data, dims);
   }
 
@@ -47,27 +34,69 @@ class fzmod_pipeline_compressor final : public compressor {
   }
 
  private:
-  preset preset_;
+  std::string preset_;
+  std::string display_;
+};
+
+/// A harness line described entirely by a pipeline spec.
+class spec_compressor final : public compressor {
+ public:
+  spec_compressor(std::string display_name, std::string spec_text)
+      : display_(std::move(display_name)),
+        spec_(spec::parse(spec_text)) {
+    spec::validate<f32>(spec_);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return display_; }
+
+  [[nodiscard]] std::vector<u8> compress(std::span<const f32> data,
+                                         dims3 dims, eb_config eb) override {
+    core::pipeline<f32> p(spec::to_config(spec_, eb));
+    return p.compress(data, dims);
+  }
+
+  [[nodiscard]] std::vector<f32> decompress(
+      std::span<const u8> archive) override {
+    core::pipeline<f32> p(core::pipeline_config{});
+    return p.decompress(archive);
+  }
+
+ private:
+  std::string display_;
+  spec::pipeline_spec spec_;
 };
 
 }  // namespace
 
 std::unique_ptr<compressor> make(const std::string& name) {
-  using preset = fzmod_pipeline_compressor::preset;
   if (name == "FZMod-Default") {
-    return std::make_unique<fzmod_pipeline_compressor>(preset::def);
+    return std::make_unique<fzmod_pipeline_compressor>("default");
   }
   if (name == "FZMod-Speed") {
-    return std::make_unique<fzmod_pipeline_compressor>(preset::speed);
+    return std::make_unique<fzmod_pipeline_compressor>("speed");
   }
   if (name == "FZMod-Quality") {
-    return std::make_unique<fzmod_pipeline_compressor>(preset::quality);
+    return std::make_unique<fzmod_pipeline_compressor>("quality");
   }
   if (name == "FZ-GPU") return make_fzgpu();
   if (name == "cuSZp2") return make_cuszp2();
   if (name == "PFPL") return make_pfpl();
   if (name == "SZ3") return make_sz3();
+  for (const auto& [display, spec_text] : spec_matrix_lines()) {
+    if (name == display) return make_spec(display, spec_text);
+  }
   throw error(status::unsupported, "unknown compressor: " + name);
+}
+
+std::unique_ptr<compressor> make_spec(std::string display_name,
+                                      std::string spec_text) {
+  return std::make_unique<spec_compressor>(std::move(display_name),
+                                           std::move(spec_text));
+}
+
+std::vector<std::pair<std::string, std::string>> spec_matrix_lines() {
+  return {{"FZMod-FixBlk", "lorenzo+fixed-block"},
+          {"FZMod-Delta", "delta+huffman"}};
 }
 
 std::vector<std::string> all_names() {

@@ -11,6 +11,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fzmod/common/types.hh"
@@ -33,11 +34,23 @@ class compressor {
 };
 
 /// Known names: "FZMod-Default", "FZMod-Speed", "FZMod-Quality",
-/// "FZ-GPU", "cuSZp2", "PFPL", "SZ3".
+/// "FZ-GPU", "cuSZp2", "PFPL", "SZ3", plus the spec-driven matrix lines
+/// from spec_matrix_lines().
 [[nodiscard]] std::unique_ptr<compressor> make(const std::string& name);
 
 /// All seven, in the paper's Table 3 column order.
 [[nodiscard]] std::vector<std::string> all_names();
+
+/// A harness entry driven by a pipeline spec (docs/PIPELINES.md) instead
+/// of a preset — how new stage families join the bench matrices without
+/// touching the bench loops.
+[[nodiscard]] std::unique_ptr<compressor> make_spec(std::string display_name,
+                                                    std::string spec_text);
+
+/// The spec-driven lines the fig-4 / table-3 benches append after the
+/// seven paper columns: {display name, spec}.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>>
+spec_matrix_lines();
 
 /// The GPU-side six (paper's throughput figures exclude SZ3).
 [[nodiscard]] std::vector<std::string> gpu_names();

@@ -29,6 +29,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fzmod/common/bits.hh"
@@ -331,6 +333,111 @@ inline void verify_sections(const inner_header& hdr,
   FZMOD_REQUIRE(kernels::chunked_hash(sv.anchors) == hdr.digest_anchors,
                 status::corrupt_archive,
                 "archive: anchor section digest mismatch");
+}
+
+// --- embedded pipeline spec section ---------------------------------------
+//
+// v2 archives may carry a trailing section after the anchors: the
+// canonical `fzmod::spec` text of the pipeline that wrote them, so a
+// consumer can rebuild the exact configuration (modules, radius, knobs)
+// from the archive alone. `slice_sections` has always tolerated trailing
+// bytes (the forward-compat hook), so archives with the section are
+// readable by older parsers and archives without it (v1, pre-spec v2,
+// STF-assembled) parse as "no spec". The section is self-delimiting and
+// digest-protected:
+//
+//   spec_section := spec_section_header | len text bytes | u64 digest
+//
+// where digest = xxhash64(header + text). Structural checks (magic,
+// version, exact length) always run; the digest comparison is gated on
+// `verify_enabled()` like every other digest. A tail that is nonempty
+// but not exactly one well-formed section is corruption — so the
+// bit-flip fuzz contract (ANY single flipped bit in a v2 archive throws
+// corrupt_archive) extends over the appended bytes.
+
+inline constexpr u32 spec_magic = 0x465a5350;  // "FZSP"
+inline constexpr u16 spec_section_version = 1;
+/// Specs are one short line; anything bigger is forged.
+inline constexpr std::size_t spec_max_bytes = 4096;
+
+#pragma pack(push, 1)
+struct spec_section_header {
+  u32 magic;    // spec_magic
+  u16 version;  // spec_section_version
+  u16 len;      // text bytes following the header
+};
+#pragma pack(pop)
+
+static_assert(sizeof(spec_section_header) == 8,
+              "spec section layout must stay byte-stable");
+
+/// Serialize a spec text into a section (header + text + digest).
+[[nodiscard]] inline std::vector<u8> build_spec_section(
+    std::string_view text) {
+  FZMOD_REQUIRE(!text.empty() && text.size() <= spec_max_bytes,
+                status::invalid_argument,
+                "pipeline spec text must be 1..4096 bytes");
+  spec_section_header h{};
+  h.magic = spec_magic;
+  h.version = spec_section_version;
+  h.len = static_cast<u16>(text.size());
+  std::vector<u8> out(sizeof(h) + text.size() + sizeof(u64));
+  std::memcpy(out.data(), &h, sizeof(h));
+  std::memcpy(out.data() + sizeof(h), text.data(), text.size());
+  const u64 digest =
+      common::xxhash64(out.data(), sizeof(h) + text.size(), 0);
+  std::memcpy(out.data() + sizeof(h) + text.size(), &digest,
+              sizeof(digest));
+  return out;
+}
+
+/// The bytes after the last declared section. Defensive about the header
+/// fields (inspect_archive calls this without slice_sections' screening):
+/// a declared geometry that oversteps the body throws instead of slicing
+/// out of bounds.
+[[nodiscard]] inline std::span<const u8> section_tail(
+    std::span<const u8> body, const inner_header& hdr) {
+  u64 used = inner_header_bytes(hdr.version);
+  for (const u64 part : {hdr.codec_bytes, hdr.outlier_bytes,
+                         hdr.n_value_outliers * sizeof(vo_record),
+                         hdr.n_anchors * sizeof(i32)}) {
+    used += part;
+    FZMOD_REQUIRE(used >= part && used <= body.size(),
+                  status::corrupt_archive,
+                  "archive: section geometry overruns the body");
+  }
+  return body.subspan(static_cast<std::size_t>(used));
+}
+
+/// Parse a section tail: empty means "no spec" (older archives), a
+/// nonempty tail must be exactly one well-formed spec section. Returns
+/// the spec text. `check_digest` gates only the digest comparison.
+[[nodiscard]] inline std::string parse_spec_section(
+    std::span<const u8> tail, bool check_digest) {
+  if (tail.empty()) return {};
+  FZMOD_REQUIRE(tail.size() >= sizeof(spec_section_header) + sizeof(u64),
+                status::corrupt_archive, "archive: truncated spec section");
+  spec_section_header h;
+  std::memcpy(&h, tail.data(), sizeof(h));
+  FZMOD_REQUIRE(h.magic == spec_magic && h.version == spec_section_version,
+                status::corrupt_archive, "archive: bad spec section header");
+  FZMOD_REQUIRE(h.len >= 1 && h.len <= spec_max_bytes,
+                status::corrupt_archive,
+                "archive: implausible spec section length");
+  FZMOD_REQUIRE(
+      tail.size() == sizeof(h) + h.len + sizeof(u64),
+      status::corrupt_archive,
+      "archive: spec section length inconsistent with the body tail");
+  if (check_digest) {
+    u64 stored = 0;
+    std::memcpy(&stored, tail.data() + sizeof(h) + h.len, sizeof(stored));
+    FZMOD_REQUIRE(common::xxhash64(tail.data(), sizeof(h) + h.len, 0) ==
+                      stored,
+                  status::corrupt_archive,
+                  "archive: spec section digest mismatch");
+  }
+  return std::string(reinterpret_cast<const char*>(tail.data()) + sizeof(h),
+                     h.len);
 }
 
 // --- varint / outlier packing --------------------------------------------

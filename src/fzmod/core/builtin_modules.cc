@@ -8,8 +8,10 @@
 #include "fzmod/encoders/fixed_length.hh"
 #include "fzmod/encoders/fzg.hh"
 #include "fzmod/encoders/huffman.hh"
+#include "fzmod/encoders/szx_block.hh"
 #include "fzmod/kernels/histogram.hh"
 #include "fzmod/kernels/stats.hh"
+#include "fzmod/predictors/delta.hh"
 #include "fzmod/predictors/interp.hh"
 #include "fzmod/predictors/lorenzo.hh"
 
@@ -159,6 +161,30 @@ class spline_module final : public predictor_module<T> {
   }
 };
 
+/// Time-series delta: predict each value from the same site in the prior
+/// frame (frame stride derived from the dims). Built for checkpoint
+/// stacks where the z axis is time.
+template <class T>
+class delta_module final : public predictor_module<T> {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return predictor_delta;
+  }
+  void compress(const device::buffer<T>& data, dims3 dims, f64 ebx2,
+                int radius, const pipeline_config&,
+                predictors::quant_field& out,
+                predictors::interp_anchors& anchors,
+                device::stream& s) override {
+    anchors.lattice.clear();
+    predictors::delta_compress_async(data, dims, ebx2, radius, out, s);
+  }
+  void decompress(const predictors::quant_field& field,
+                  const predictors::interp_anchors&, device::buffer<T>& out,
+                  device::stream& s) override {
+    predictors::delta_decompress_async(field, out, s);
+  }
+};
+
 // ---- Stage 3: primary codecs ------------------------------------------
 
 /// Hybrid CPU Huffman: GPU histogram (standard or top-k per config), D2H
@@ -190,9 +216,14 @@ class huffman_codec final : public codec_module {
   }
 
   void decode(std::span<const u8> blob, int /*radius*/,
-              device::buffer<u16>& codes, device::stream& s) override {
+              const pipeline_config& cfg, device::buffer<u16>& codes,
+              device::stream& s) override {
     host_codes_.ensure(codes.size(), device::space::host);
-    encoders::huffman_decode(blob, host_codes_.span());
+    if (cfg.huff_tier == encoders::huffman_tier::auto_select) {
+      encoders::huffman_decode(blob, host_codes_.span());
+    } else {
+      encoders::huffman_decode(blob, host_codes_.span(), cfg.huff_tier);
+    }
     device::copy_async(codes, host_codes_, s);
     s.sync();
   }
@@ -234,7 +265,8 @@ class fzg_codec final : public codec_module {
   }
 
   void decode(std::span<const u8> blob, int radius,
-              device::buffer<u16>& codes, device::stream& s) override {
+              const pipeline_config&, device::buffer<u16>& codes,
+              device::stream& s) override {
     struct fzg_blob_header {
       u64 n_codes;
       u64 bitmap_words;
@@ -285,7 +317,8 @@ class flen_codec final : public codec_module {
   }
 
   void decode(std::span<const u8> blob, int radius,
-              device::buffer<u16>& codes, device::stream& s) override {
+              const pipeline_config&, device::buffer<u16>& codes,
+              device::stream& s) override {
     host_codes_.ensure(codes.size(), device::space::host);
     encoders::fixed_length_decode(blob, radius, host_codes_.span());
     device::copy_async(codes, host_codes_, s);
@@ -296,29 +329,75 @@ class flen_codec final : public codec_module {
   device::buffer<u16> host_codes_;  // D2H staging, retained across calls
 };
 
+/// SZx-style fixed-block codec: constant-block detection plus per-block
+/// fixed-length packing. Host-side like flen, but collapses the long
+/// constant runs of smooth fields to one flag byte per 128 codes.
+class szx_codec final : public codec_module {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return codec_fixed_block;
+  }
+
+  [[nodiscard]] std::vector<u8> encode(const device::buffer<u16>& codes,
+                                       int radius, const pipeline_config&,
+                                       device::stream& s) override {
+    host_codes_.ensure(codes.size(), device::space::host);
+    device::copy_async(host_codes_, codes, s);
+    s.sync();
+    return encoders::szx_block_encode(host_codes_.span(), radius);
+  }
+
+  void decode(std::span<const u8> blob, int radius,
+              const pipeline_config&, device::buffer<u16>& codes,
+              device::stream& s) override {
+    host_codes_.ensure(codes.size(), device::space::host);
+    encoders::szx_block_decode(blob, radius, host_codes_.span());
+    device::copy_async(codes, host_codes_, s);
+    s.sync();
+  }
+
+ private:
+  device::buffer<u16> host_codes_;  // D2H staging, retained across calls
+};
+
 template <class T>
 void register_builtins(module_registry<T>& reg) {
-  reg.register_preprocessor(preprocess_none, [] {
-    return std::make_unique<none_preprocessor<T>>();
-  });
-  reg.register_preprocessor(preprocess_value_range, [] {
-    return std::make_unique<value_range_preprocessor<T>>();
-  });
-  reg.register_preprocessor(preprocess_log, [] {
-    return std::make_unique<log_preprocessor<T>>();
-  });
-  reg.register_predictor(predictor_lorenzo, [] {
-    return std::make_unique<lorenzo_module<T>>();
-  });
-  reg.register_predictor(predictor_spline, [] {
-    return std::make_unique<spline_module<T>>();
-  });
-  reg.register_codec(codec_huffman,
-                     [] { return std::make_unique<huffman_codec>(); });
-  reg.register_codec(codec_fzg,
-                     [] { return std::make_unique<fzg_codec>(); });
-  reg.register_codec(codec_flen,
-                     [] { return std::make_unique<flen_codec>(); });
+  reg.register_preprocessor(
+      preprocess_none,
+      [] { return std::make_unique<none_preprocessor<T>>(); },
+      "pass-through; the user bound is already absolute");
+  reg.register_preprocessor(
+      preprocess_value_range,
+      [] { return std::make_unique<value_range_preprocessor<T>>(); },
+      "scale a relative bound by the field's value range");
+  reg.register_preprocessor(
+      preprocess_log,
+      [] { return std::make_unique<log_preprocessor<T>>(); },
+      "log transform for pointwise-relative bounds on positive fields");
+  reg.register_predictor(
+      predictor_lorenzo,
+      [] { return std::make_unique<lorenzo_module<T>>(); },
+      "multidimensional Lorenzo prediction (fused quantize+predict)");
+  reg.register_predictor(
+      predictor_spline,
+      [] { return std::make_unique<spline_module<T>>(); },
+      "cubic-spline interpolation on an anchor lattice");
+  reg.register_predictor(
+      predictor_delta,
+      [] { return std::make_unique<delta_module<T>>(); },
+      "time-series delta vs the same site in the prior frame");
+  reg.register_codec(
+      codec_huffman, [] { return std::make_unique<huffman_codec>(); },
+      "canonical Huffman over the quant codes (best ratio, host encode)");
+  reg.register_codec(
+      codec_fzg, [] { return std::make_unique<fzg_codec>(); },
+      "FZ-GPU bitshuffle + dictionary, fully device-resident");
+  reg.register_codec(
+      codec_flen, [] { return std::make_unique<flen_codec>(); },
+      "blockwise fixed-length packing (cuSZp2-style lossless stage)");
+  reg.register_codec(
+      codec_fixed_block, [] { return std::make_unique<szx_codec>(); },
+      "SZx-style constant-block detection + fixed-length encoding");
 }
 
 }  // namespace

@@ -7,9 +7,14 @@
 // footing with the built-ins (the extensibility contribution of §3.2).
 #pragma once
 
+#include <cstdlib>
 #include <string>
+#include <string_view>
 
+#include "fzmod/common/error.hh"
 #include "fzmod/common/types.hh"
+#include "fzmod/device/kernel_tier.hh"
+#include "fzmod/encoders/huffman.hh"
 #include "fzmod/kernels/histogram.hh"
 
 namespace fzmod::core {
@@ -17,9 +22,11 @@ namespace fzmod::core {
 /// Built-in module names.
 inline constexpr const char* predictor_lorenzo = "lorenzo";
 inline constexpr const char* predictor_spline = "spline";
+inline constexpr const char* predictor_delta = "delta";
 inline constexpr const char* codec_huffman = "huffman";
 inline constexpr const char* codec_fzg = "fzg";
 inline constexpr const char* codec_flen = "fixed-length";
+inline constexpr const char* codec_fixed_block = "fixed-block";
 inline constexpr const char* preprocess_none = "none";
 inline constexpr const char* preprocess_value_range = "value-range";
 inline constexpr const char* preprocess_log = "log";
@@ -39,36 +46,78 @@ struct pipeline_config {
   /// execution-strategy knob: both tiers produce identical archives.
   device::kernel_tier_policy kernel_tier =
       device::kernel_tier_policy::auto_probe;
+  /// Which Huffman decoder tier this pipeline forces (`auto_select`
+  /// defers to FZMOD_HUFF_TIER, then to the per-chunk heuristic).
+  /// Execution strategy only: every tier decodes every blob identically.
+  encoders::huffman_tier huff_tier = encoders::huffman_tier::auto_select;
 
   /// FZMod-Default (paper §3.3): Lorenzo + standard histogram + CPU
   /// Huffman. Balances throughput, ratio and quality.
   [[nodiscard]] static pipeline_config preset_default(
-      eb_config eb = {1e-4, eb_mode::rel}) {
-    pipeline_config c;
-    c.eb = eb;
-    return c;
-  }
+      eb_config eb = {1e-4, eb_mode::rel});
 
   /// FZMod-Speed: Lorenzo + FZ-GPU bitshuffle/dictionary encoder; trades
   /// ratio for throughput and keeps the whole pipeline device-resident.
   [[nodiscard]] static pipeline_config preset_speed(
-      eb_config eb = {1e-4, eb_mode::rel}) {
-    pipeline_config c;
-    c.eb = eb;
-    c.codec = codec_fzg;
-    return c;
-  }
+      eb_config eb = {1e-4, eb_mode::rel});
 
   /// FZMod-Quality: spline interpolation predictor + top-k histogram +
   /// Huffman; best rate-distortion of the family.
   [[nodiscard]] static pipeline_config preset_quality(
-      eb_config eb = {1e-4, eb_mode::rel}) {
-    pipeline_config c;
-    c.eb = eb;
-    c.predictor = predictor_spline;
-    c.histogram = kernels::histogram_kind::topk;
-    return c;
-  }
+      eb_config eb = {1e-4, eb_mode::rel});
+
+  /// Look a preset up by name ("default" | "speed" | "quality"); throws
+  /// invalid_argument on anything else. The one preset dispatch every
+  /// call site (CLI, daemon, baselines) shares.
+  [[nodiscard]] static pipeline_config preset(std::string_view name,
+                                              eb_config eb = {1e-4,
+                                                              eb_mode::rel});
 };
+
+/// Apply the process-environment execution-strategy overrides to a
+/// config: FZMOD_KERNEL_TIER and FZMOD_HUFF_TIER. Every construction
+/// path (presets, the spec layer, direct configs passed through the CLI)
+/// routes here so the env knobs mean the same thing everywhere. Garbage
+/// values throw — same strictness as the rest of the FZMOD_* surface.
+[[nodiscard]] inline pipeline_config resolved(pipeline_config cfg) {
+  if (const char* v = std::getenv("FZMOD_KERNEL_TIER")) {
+    cfg.kernel_tier = device::parse_kernel_tier_policy(v);
+  }
+  if (const char* v = std::getenv("FZMOD_HUFF_TIER")) {
+    cfg.huff_tier = encoders::parse_huffman_tier(v);
+  }
+  return cfg;
+}
+
+inline pipeline_config pipeline_config::preset_default(eb_config eb) {
+  pipeline_config c;
+  c.eb = eb;
+  return resolved(std::move(c));
+}
+
+inline pipeline_config pipeline_config::preset_speed(eb_config eb) {
+  pipeline_config c;
+  c.eb = eb;
+  c.codec = codec_fzg;
+  return resolved(std::move(c));
+}
+
+inline pipeline_config pipeline_config::preset_quality(eb_config eb) {
+  pipeline_config c;
+  c.eb = eb;
+  c.predictor = predictor_spline;
+  c.histogram = kernels::histogram_kind::topk;
+  return resolved(std::move(c));
+}
+
+inline pipeline_config pipeline_config::preset(std::string_view name,
+                                               eb_config eb) {
+  if (name == "default") return preset_default(eb);
+  if (name == "speed") return preset_speed(eb);
+  if (name == "quality") return preset_quality(eb);
+  throw error(status::invalid_argument,
+              "unknown preset '" + std::string(name) +
+                  "' (expected default|speed|quality)");
+}
 
 }  // namespace fzmod::core

@@ -103,9 +103,13 @@ class codec_module {
       const device::buffer<u16>& codes, int radius,
       const pipeline_config& cfg, device::stream& s) = 0;
 
-  /// Decode a blob into a presized device code buffer.
+  /// Decode a blob into a presized device code buffer. Receives the
+  /// consumer's pipeline_config for execution-strategy knobs (today the
+  /// Huffman decoder tier) — like encode(), the config never changes the
+  /// decoded bytes, only how they are produced.
   virtual void decode(std::span<const u8> blob, int radius,
-                      device::buffer<u16>& codes, device::stream& s) = 0;
+                      const pipeline_config& cfg, device::buffer<u16>& codes,
+                      device::stream& s) = 0;
 };
 
 }  // namespace fzmod::core

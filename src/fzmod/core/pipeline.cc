@@ -6,6 +6,7 @@
 #include "fzmod/core/archive_format.hh"
 #include "fzmod/device/runtime.hh"
 #include "fzmod/lossless/lz.hh"
+#include "fzmod/spec/spec.hh"
 #include "fzmod/trace/trace.hh"
 
 namespace fzmod::core {
@@ -76,6 +77,17 @@ archive_info inspect_archive(std::span<const u8> archive) {
   info.secondary = ov.secondary;
   info.n_outliers = hdr.n_outliers;
   info.n_value_outliers = hdr.n_value_outliers;
+  // Best-effort spec extraction, keeping the metadata-only contract:
+  // inspect stays tolerant of payload damage (no digest checks, no
+  // section decode), so a malformed tail reads as "no spec" here and the
+  // strict rejection happens on decompress/verify.
+  if (hdr.version >= 2) {
+    try {
+      info.spec = fmt::parse_spec_section(fmt::section_tail(body, hdr),
+                                          /*check_digest=*/false);
+    } catch (const error&) {
+    }
+  }
   return info;
 }
 
@@ -116,6 +128,12 @@ archive_verify_report verify_archive(std::span<const u8> archive) {
   rep.value_outliers_ok = kernels::chunked_hash(sv.value_outliers) ==
                           hdr.digest_value_outliers;
   rep.anchors_ok = kernels::chunked_hash(sv.anchors) == hdr.digest_anchors;
+  try {
+    (void)fmt::parse_spec_section(fmt::section_tail(body, hdr),
+                                  /*check_digest=*/true);
+  } catch (const error&) {
+    rep.spec_ok = false;
+  }
   return rep;
 }
 
@@ -128,6 +146,8 @@ pipeline<T>::pipeline(pipeline_config cfg) : cfg_(std::move(cfg)) {
   FZMOD_REQUIRE(cfg_.radius > 1 && cfg_.radius <= 16384,
                 status::invalid_argument,
                 "quantizer radius out of supported range (2..16384)");
+  spec_section_ =
+      fmt::build_spec_section(spec::to_string(spec::from_config(cfg_)));
 }
 
 template <class T>
@@ -216,7 +236,8 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
   const u64 vo_bytes = hdr.n_value_outliers * sizeof(vo_record);
   const u64 anchor_bytes = hdr.n_anchors * sizeof(i32);
   std::vector<u8> inner(sizeof(hdr) + codec_blob.size() +
-                        packed_outliers.size() + vo_bytes + anchor_bytes);
+                        packed_outliers.size() + vo_bytes + anchor_bytes +
+                        spec_section_.size());
   u8* p = inner.data() + sizeof(hdr);  // header lands last (after digests)
   std::memcpy(p, codec_blob.data(), codec_blob.size());
   p += codec_blob.size();
@@ -233,6 +254,11 @@ std::vector<u8> pipeline<T>::compress(const device::buffer<T>& data,
     std::memcpy(p, anchors.lattice.data(), anchor_bytes);
     p += anchor_bytes;
   }
+  // Trailing self-describing spec section (its own digest; see
+  // archive_format.hh). Inside the inner body, so the secondary path's
+  // sealed whole-body digest covers it too.
+  std::memcpy(p, spec_section_.data(), spec_section_.size());
+  p += spec_section_.size();
 
   // Section digests (v2): hash the serialized sections in place, then the
   // header's self-digest, then write the completed header.
@@ -335,6 +361,14 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   const fmt::section_view sections = fmt::slice_sections(body, hdr);
   sw.reset();
   fmt::verify_sections(hdr, sections);  // before any section is decoded
+  if (hdr.version >= 2) {
+    // The body tail must be empty (pre-spec archive) or exactly one
+    // well-formed spec section — structural checks always, digest when
+    // verification is on. Extends the any-flipped-bit-throws contract
+    // over the appended bytes.
+    (void)fmt::parse_spec_section(fmt::section_tail(body, hdr),
+                                  fmt::verify_enabled());
+  }
   decompress_timings_.verify += sw.seconds();
   trace_stage("verify", sw.seconds());
 
@@ -351,7 +385,7 @@ void pipeline<T>::decompress(std::span<const u8> archive,
   field.radius = hdr.radius;
   field.ebx2 = hdr.ebx2;
   field.codes.ensure(dims.len(), device::space::device);
-  codec->decode(sections.codec, hdr.radius, field.codes, s);
+  codec->decode(sections.codec, hdr.radius, cfg_, field.codes, s);
   decompress_timings_.encode = sw.seconds();
   trace_stage("encode", decompress_timings_.encode);
 

@@ -87,6 +87,9 @@ struct archive_info {
   u64 n_outliers = 0;
   u64 n_value_outliers = 0;
   u16 version = 1;  ///< archive format version (1 = pre-checksum, 2 = v2)
+  /// Canonical `fzmod::spec` text embedded by the compressor; empty for
+  /// archives that predate the spec section (and STF-assembled ones).
+  std::string spec;
 };
 
 /// Parse an archive's headers into archive_info. Validates structure
@@ -105,9 +108,10 @@ struct archive_verify_report {
   bool outliers_ok = true; ///< packed-outlier section digest
   bool value_outliers_ok = true;
   bool anchors_ok = true;
+  bool spec_ok = true;     ///< trailing pipeline-spec section (if present)
   [[nodiscard]] bool ok() const {
     return body_ok && header_ok && codec_ok && outliers_ok &&
-           value_outliers_ok && anchors_ok;
+           value_outliers_ok && anchors_ok && spec_ok;
   }
 };
 
@@ -176,6 +180,11 @@ class pipeline {
   // immediate invalid_argument (the chunked scheduler relies on this
   // one-pipeline-per-slot rule).
   detail::busy_flag busy_;
+  /// Serialized trailing spec section appended to every archive this
+  /// pipeline writes. Built once in the constructor from the canonical
+  /// spec text of cfg_, so equal configs keep producing byte-identical
+  /// archives (the determinism + batch-demux contracts).
+  std::vector<u8> spec_section_;
   device::buffer<T> transformed_scratch_;
   predictors::quant_field compress_field_;
   predictors::interp_anchors compress_anchors_;

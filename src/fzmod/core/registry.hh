@@ -18,6 +18,25 @@
 
 namespace fzmod::core {
 
+/// Which pipeline stage a registered module implements.
+enum class module_kind : u8 { preprocessor = 0, predictor = 1, codec = 2 };
+
+[[nodiscard]] inline const char* to_string(module_kind k) {
+  switch (k) {
+    case module_kind::preprocessor: return "preprocessor";
+    case module_kind::predictor: return "predictor";
+    case module_kind::codec: return "codec";
+  }
+  return "?";
+}
+
+/// One row of the registry listing (`fzmod modules`, docs/PIPELINES.md).
+struct module_info {
+  std::string name;
+  module_kind kind = module_kind::codec;
+  std::string description;  ///< one line; empty for undescribed modules
+};
+
 template <class T>
 class module_registry {
  public:
@@ -29,18 +48,23 @@ class module_registry {
 
   static module_registry& instance();
 
-  void register_preprocessor(const std::string& name,
-                             preprocessor_factory f) {
+  void register_preprocessor(const std::string& name, preprocessor_factory f,
+                             const std::string& description = "") {
     std::lock_guard lk(mu_);
     preprocessors_[name] = std::move(f);
+    if (!description.empty()) descriptions_[name] = description;
   }
-  void register_predictor(const std::string& name, predictor_factory f) {
+  void register_predictor(const std::string& name, predictor_factory f,
+                          const std::string& description = "") {
     std::lock_guard lk(mu_);
     predictors_[name] = std::move(f);
+    if (!description.empty()) descriptions_[name] = description;
   }
-  void register_codec(const std::string& name, codec_factory f) {
+  void register_codec(const std::string& name, codec_factory f,
+                      const std::string& description = "") {
     std::lock_guard lk(mu_);
     codecs_[name] = std::move(f);
+    if (!description.empty()) descriptions_[name] = description;
   }
 
   [[nodiscard]] std::unique_ptr<preprocessor_module<T>> make_preprocessor(
@@ -68,6 +92,12 @@ class module_registry {
     return it->second();
   }
 
+  [[nodiscard]] std::vector<std::string> preprocessor_names() {
+    std::lock_guard lk(mu_);
+    std::vector<std::string> names;
+    for (const auto& [k, v] : preprocessors_) names.push_back(k);
+    return names;
+  }
   [[nodiscard]] std::vector<std::string> predictor_names() {
     std::lock_guard lk(mu_);
     std::vector<std::string> names;
@@ -81,12 +111,48 @@ class module_registry {
     return names;
   }
 
+  [[nodiscard]] bool has_preprocessor(const std::string& name) {
+    std::lock_guard lk(mu_);
+    return preprocessors_.count(name) != 0;
+  }
+  [[nodiscard]] bool has_predictor(const std::string& name) {
+    std::lock_guard lk(mu_);
+    return predictors_.count(name) != 0;
+  }
+  [[nodiscard]] bool has_codec(const std::string& name) {
+    std::lock_guard lk(mu_);
+    return codecs_.count(name) != 0;
+  }
+
+  /// Every registered module (stage order, then by name) with its kind
+  /// and one-line description — drives `fzmod modules` and keeps specs
+  /// discoverable without reading source.
+  [[nodiscard]] std::vector<module_info> list() {
+    std::lock_guard lk(mu_);
+    std::vector<module_info> rows;
+    const auto desc = [&](const std::string& n) {
+      auto it = descriptions_.find(n);
+      return it == descriptions_.end() ? std::string() : it->second;
+    };
+    for (const auto& [k, v] : preprocessors_) {
+      rows.push_back({k, module_kind::preprocessor, desc(k)});
+    }
+    for (const auto& [k, v] : predictors_) {
+      rows.push_back({k, module_kind::predictor, desc(k)});
+    }
+    for (const auto& [k, v] : codecs_) {
+      rows.push_back({k, module_kind::codec, desc(k)});
+    }
+    return rows;
+  }
+
  private:
   module_registry() = default;
   std::mutex mu_;
   std::map<std::string, preprocessor_factory> preprocessors_;
   std::map<std::string, predictor_factory> predictors_;
   std::map<std::string, codec_factory> codecs_;
+  std::map<std::string, std::string> descriptions_;
 };
 
 }  // namespace fzmod::core

@@ -399,19 +399,9 @@ parsed_blob parse_blob(std::span<const u8> blob) {
 std::atomic<u64> g_tier_chunks[3]{};  // canonical, single_cached, double_cached
 
 huffman_tier env_default_tier() {
-  static const huffman_tier t = [] {
-    const char* v = std::getenv("FZMOD_HUFF_TIER");
-    if (!v || !*v) return huffman_tier::auto_select;
-    const std::string_view s{v};
-    if (s == "auto") return huffman_tier::auto_select;
-    if (s == "canonical") return huffman_tier::canonical;
-    if (s == "single") return huffman_tier::single_cached;
-    if (s == "double") return huffman_tier::double_cached;
-    throw error(status::invalid_argument,
-                "FZMOD_HUFF_TIER must be auto|canonical|single|double, got '" +
-                    std::string(s) + "'");
-  }();
-  return t;
+  const char* v = std::getenv("FZMOD_HUFF_TIER");
+  if (!v || !*v) return huffman_tier::auto_select;
+  return parse_huffman_tier(v);
 }
 
 /// Encode one chunk MSB-first into `dst` (sized worst case); returns bits.
@@ -510,6 +500,16 @@ const char* to_string(huffman_tier t) {
     case huffman_tier::auto_select: break;
   }
   return "auto";
+}
+
+huffman_tier parse_huffman_tier(std::string_view v) {
+  if (v == "auto" || v.empty()) return huffman_tier::auto_select;
+  if (v == "canonical") return huffman_tier::canonical;
+  if (v == "single") return huffman_tier::single_cached;
+  if (v == "double") return huffman_tier::double_cached;
+  throw error(status::invalid_argument,
+              "FZMOD_HUFF_TIER must be auto|canonical|single|double, got '" +
+                  std::string(v) + "'");
 }
 
 huffman_tier huffman_select_tier(u32 max_code_len, f64 chunk_avg_bits) {

@@ -77,6 +77,11 @@ enum class huffman_tier : u8 {
 
 [[nodiscard]] const char* to_string(huffman_tier t);
 
+/// Parse a tier name ("auto"|"canonical"|"single"|"double" — the
+/// FZMOD_HUFF_TIER values). Throws invalid_argument on anything else so
+/// typos fail loudly instead of silently decoding in the wrong tier.
+[[nodiscard]] huffman_tier parse_huffman_tier(std::string_view v);
+
 /// LUT width caps: `single` builds 2^max_len entries (so max_len must be
 /// small); `double` always builds 2^12 entries and uses the canonical
 /// walk for codes that don't fit.

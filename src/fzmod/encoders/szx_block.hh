@@ -1,0 +1,160 @@
+// FZModules — SZx-style fixed-block encoder (Yu et al.: ultra-fast
+// error-bounded compression built on constant-block detection plus
+// fixed-length encoding of the rest).
+//
+// The quantization-code stream of a smooth field is dominated by long
+// runs of the zero-delta code; SZx's observation is that whole blocks of
+// it collapse to a single flag. Each 128-code block stores one flag byte:
+//
+//   0x00          all codes in the block are the outlier sentinel (0);
+//   0xFF          all codes equal one nonzero value — the value goes to a
+//                 side stream of u16 constants (SZx's "constant block");
+//   w in 1..17    the block's zigzagged deltas packed at w bits each.
+//
+// Blob: [u64 count][nblocks flag bytes][u16 x n_const][packed payload][pad]
+// where n_const is derived by scanning the flags. Zigzag mapping matches
+// fixed_length.hh (0 stays the sentinel; max zz = 65537 needs 17 bits).
+// Strictly validated on decode: a flag outside {0, 1..17, 0xFF}, a
+// truncated constants stream, or a short payload throws corrupt_archive.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "fzmod/common/bits.hh"
+#include "fzmod/common/error.hh"
+#include "fzmod/common/types.hh"
+
+namespace fzmod::encoders {
+
+inline constexpr std::size_t szx_block = 128;
+inline constexpr u8 szx_flag_const = 0xFF;
+inline constexpr u8 szx_max_width = 17;  // zigzag(code - radius) + 1 <= 2^17
+
+/// Encode radius-centred codes (the quant_field convention: 0 is the
+/// outlier sentinel). Returns a self-contained blob.
+[[nodiscard]] inline std::vector<u8> szx_block_encode(
+    std::span<const u16> codes, int radius) {
+  const std::size_t n = codes.size();
+  const std::size_t nblocks = n ? (n - 1) / szx_block + 1 : 0;
+  std::vector<u8> flags(nblocks, 0);
+  std::vector<u16> constants;
+  std::vector<u32> zz(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    zz[i] = codes[i] == 0
+                ? 0u
+                : zigzag_encode(static_cast<i32>(codes[i]) - radius) + 1;
+  }
+  u64 payload_bits = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t beg = b * szx_block;
+    const std::size_t end = std::min(n, beg + szx_block);
+    bool constant = true;
+    u32 ored = 0;
+    for (std::size_t i = beg; i < end; ++i) {
+      constant = constant && codes[i] == codes[beg];
+      ored |= zz[i];
+    }
+    if (constant && codes[beg] == 0) {
+      flags[b] = 0;
+    } else if (constant) {
+      flags[b] = szx_flag_const;
+      constants.push_back(codes[beg]);
+    } else {
+      flags[b] = static_cast<u8>(bit_width_u32(ored));
+      payload_bits += static_cast<u64>(flags[b]) * szx_block;
+    }
+  }
+
+  const u64 count = n;
+  const std::size_t const_bytes = constants.size() * sizeof(u16);
+  std::vector<u8> blob(
+      sizeof(u64) + nblocks + const_bytes + (payload_bits + 7) / 8 + 8, 0);
+  std::memcpy(blob.data(), &count, sizeof(u64));
+  std::memcpy(blob.data() + sizeof(u64), flags.data(), nblocks);
+  if (const_bytes) {
+    std::memcpy(blob.data() + sizeof(u64) + nblocks, constants.data(),
+                const_bytes);
+  }
+  bit_writer bw(blob.data() + sizeof(u64) + nblocks + const_bytes);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const u8 w = flags[b];
+    if (w == 0 || w == szx_flag_const) continue;
+    const std::size_t beg = b * szx_block;
+    const std::size_t end = std::min(n, beg + szx_block);
+    for (std::size_t i = beg; i < end; ++i) bw.put(zz[i], w);
+    // Pad the final partial block so decode strides uniformly.
+    for (std::size_t i = end; i < beg + szx_block; ++i) bw.put(0, w);
+  }
+  blob.resize(sizeof(u64) + nblocks + const_bytes + bw.bytes_written() + 8);
+  return blob;
+}
+
+/// Decode a szx_block_encode blob back into radius-centred codes.
+inline void szx_block_decode(std::span<const u8> blob, int radius,
+                             std::span<u16> out) {
+  FZMOD_REQUIRE(blob.size() >= sizeof(u64), status::corrupt_archive,
+                "fixed-block: blob too small");
+  u64 count;
+  std::memcpy(&count, blob.data(), sizeof(u64));
+  FZMOD_REQUIRE(count == out.size(), status::corrupt_archive,
+                "fixed-block: count does not match archive dims");
+  const std::size_t nblocks = count ? (count - 1) / szx_block + 1 : 0;
+  FZMOD_REQUIRE(blob.size() >= sizeof(u64) + nblocks,
+                status::corrupt_archive, "fixed-block: truncated flags");
+  const u8* flags = blob.data() + sizeof(u64);
+  std::size_t n_const = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const u8 f = flags[b];
+    FZMOD_REQUIRE(f <= szx_max_width || f == szx_flag_const,
+                  status::corrupt_archive, "fixed-block: invalid flag");
+    n_const += f == szx_flag_const;
+  }
+  const std::size_t const_bytes = n_const * sizeof(u16);
+  FZMOD_REQUIRE(blob.size() >= sizeof(u64) + nblocks + const_bytes,
+                status::corrupt_archive,
+                "fixed-block: truncated constants");
+  const u8* const_p = blob.data() + sizeof(u64) + nblocks;
+  // Padded payload copy: bit_reader reads 8 bytes past its cursor and the
+  // caller may hand a tightly-sized subspan.
+  const std::size_t payload_off = sizeof(u64) + nblocks + const_bytes;
+  std::vector<u8> payload(blob.size() - payload_off + 8, 0);
+  std::memcpy(payload.data(), blob.data() + payload_off,
+              blob.size() - payload_off);
+  const u64 payload_bits = (blob.size() - payload_off) * 8;
+  bit_reader br(payload.data());
+  u64 bits_used = 0;
+  std::size_t const_at = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const u8 f = flags[b];
+    const std::size_t beg = b * szx_block;
+    const std::size_t end = std::min<std::size_t>(count, beg + szx_block);
+    if (f == 0) {
+      for (std::size_t i = beg; i < end; ++i) out[i] = 0;
+      continue;
+    }
+    if (f == szx_flag_const) {
+      u16 v;
+      std::memcpy(&v, const_p + const_at * sizeof(u16), sizeof(v));
+      ++const_at;
+      FZMOD_REQUIRE(v != 0 && v < 2 * static_cast<u32>(radius),
+                    status::corrupt_archive,
+                    "fixed-block: constant out of code range");
+      for (std::size_t i = beg; i < end; ++i) out[i] = v;
+      continue;
+    }
+    bits_used += static_cast<u64>(f) * szx_block;
+    FZMOD_REQUIRE(bits_used <= payload_bits, status::corrupt_archive,
+                  "fixed-block: truncated payload");
+    for (std::size_t i = beg; i < end; ++i) {
+      const u32 zzv = static_cast<u32>(br.get(f));
+      out[i] = zzv == 0 ? u16{0}
+                        : static_cast<u16>(zigzag_decode(zzv - 1) + radius);
+    }
+    br.skip(static_cast<u32>((beg + szx_block - end) * f));
+  }
+}
+
+}  // namespace fzmod::encoders

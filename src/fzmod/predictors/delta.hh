@@ -1,0 +1,40 @@
+// FZModules — time-series delta predictor for append-style simulation
+// checkpoints.
+//
+// A checkpoint stream is a stack of frames of one spatial field; values
+// move slowly frame to frame, so the previous frame's value at the same
+// site is an excellent predictor. On the pre-quantized lattice:
+//
+//   pred[i] = q[i - stride]   for i >= stride   (same site, prior frame)
+//   pred[i] = q[i - 1]        for 0 < i < stride (first frame: 1-D chain)
+//   pred[0] = 0
+//
+// where stride is the frame size (x*y for rank-3 fields stacked along z,
+// x for rank-2, 1 for rank-1 — which degenerates to plain 1-D delta
+// coding). Compression is fully parallel (both passes are grid-stride
+// launches); reconstruction is a sequential recurrence, the same
+// asymmetry the poly2 example documents.
+#pragma once
+
+#include "fzmod/device/runtime.hh"
+#include "fzmod/predictors/quant_field.hh"
+
+namespace fzmod::predictors {
+
+/// The inter-frame prediction stride for a field shape.
+[[nodiscard]] inline u64 delta_frame_stride(dims3 dims) {
+  if (dims.z > 1) return dims.x * dims.y;
+  if (dims.y > 1) return dims.x;
+  return 1;
+}
+
+template <class T>
+void delta_compress_async(const device::buffer<T>& data, dims3 dims,
+                          f64 ebx2, int radius, quant_field& out,
+                          device::stream& s);
+
+template <class T>
+void delta_decompress_async(const quant_field& field, device::buffer<T>& out,
+                            device::stream& s);
+
+}  // namespace fzmod::predictors

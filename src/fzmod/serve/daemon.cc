@@ -65,6 +65,16 @@ std::vector<u8> handle_request_body(server& srv, std::span<const u8> body,
     case op_shutdown:
       want_shutdown = true;
       return status_body(wire_ok, "");
+    case op_compress_spec: {
+      u16 spec_len = 0;
+      if (!take(body, spec_len) || body.size() < spec_len) {
+        return status_body(static_cast<u8>(reject_reason::bad_request),
+                           "compress frame: truncated pipeline spec");
+      }
+      r.spec.assign(reinterpret_cast<const char*>(body.data()), spec_len);
+      body = body.subspan(spec_len);
+      [[fallthrough]];  // the rest of the frame is a plain compress
+    }
     case op_compress: {
       u64 x = 0, y = 0, z = 0;
       if (!take(body, x) || !take(body, y) || !take(body, z)) {
@@ -100,13 +110,16 @@ std::vector<u8> handle_request_body(server& srv, std::span<const u8> body,
   response resp = srv.execute(std::move(r));
   if (!resp.ok) {
     if (resp.reason != reject_reason::none) {
+      // The server's detail text (e.g. a spec parse error with the
+      // offending token) beats the generic reason name when it has one.
       return status_body(static_cast<u8>(resp.reason),
-                         to_string(resp.reason));
+                         resp.error.empty() ? to_string(resp.reason)
+                                            : resp.error);
     }
     return status_body(wire_error, resp.error);
   }
   std::vector<u8> out;
-  if (op == op_compress) {
+  if (op == op_compress || op == op_compress_spec) {
     out.reserve(1 + resp.archive.size());
     out.push_back(wire_ok);
     put_bytes(out, resp.archive.data(), resp.archive.size());

@@ -15,10 +15,16 @@
 //     op 2 decompress : [archive bytes]
 //     op 3 ping       : (empty)
 //     op 4 shutdown   : (empty) — drain, respond, exit cleanly
+//     op 5 compress with pipeline spec (protocol extension; older daemons
+//          answer it with a bad_request, older clients never send it):
+//          [u16 spec_len][spec bytes][u64 x][u64 y][u64 z][payload]
+//          where spec is a docs/PIPELINES.md pipeline description
 //
 //   response = [u64 body_len][u8 status][payload]
 //     status 0 = ok (payload: archive / raw f32 / empty)
-//     status 1..4 = serve::reject_reason (payload: reason text)
+//     status 1..4 = serve::reject_reason (payload: reason text — for a
+//                   bad_request with detail, e.g. a malformed spec, the
+//                   text is the parse error itself)
 //     status 5 = execution error (payload: error text)
 #pragma once
 
@@ -34,6 +40,7 @@ inline constexpr u8 op_compress = 1;
 inline constexpr u8 op_decompress = 2;
 inline constexpr u8 op_ping = 3;
 inline constexpr u8 op_shutdown = 4;
+inline constexpr u8 op_compress_spec = 5;  ///< v2 extension (PIPELINES.md)
 
 inline constexpr u8 wire_ok = 0;
 inline constexpr u8 wire_error = 5;  ///< 1..4 mirror reject_reason

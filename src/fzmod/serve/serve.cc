@@ -14,6 +14,7 @@
 
 #include "fzmod/common/env.hh"
 #include "fzmod/core/chunked.hh"
+#include "fzmod/spec/spec.hh"
 #include "fzmod/trace/trace.hh"
 
 namespace fzmod::serve {
@@ -246,6 +247,11 @@ struct queued_item {
   std::promise<response> prom;
   clock::time_point enqueued;
   clock::time_point deadline;  // time_point::max() when none
+  // Per-request spec, resolved at admission so malformed specs are
+  // rejected synchronously and workers never parse.
+  bool has_spec = false;
+  std::string spec_key;        // canonical spec text (pool map key)
+  core::pipeline_config cfg;   // meaningful only when has_spec
 };
 
 f64 ms_between(clock::time_point a, clock::time_point b) {
@@ -281,10 +287,19 @@ struct server::impl {
   std::atomic<u64> completed{0};
   std::atomic<u64> batched{0};
   std::atomic<u64> batches{0};
+  std::atomic<u64> spec_requests{0};
   std::atomic<u64> peak_depth{0};
   std::atomic<u64> completion_order{0};
 
   std::vector<std::thread> workers;
+
+  // Spec-carrying requests get a pipeline pool per canonical spec, built
+  // lazily: the spec names the stages, the server's eb/radius knobs carry
+  // over. Pools live for the server's lifetime so repeated specs reuse
+  // warm pipelines.
+  std::mutex spec_mu;
+  std::map<std::string, std::unique_ptr<pipeline_pool<f32>>> spec_pools;
+  pool_options pool_opt;
 
   explicit impl(core::pipeline_config c, const server_options& opt)
       : cfg(std::move(c)),
@@ -293,7 +308,8 @@ struct server::impl {
         default_deadline_ms(opt.resolve_deadline_ms()),
         batch_elems(opt.resolve_batch_elems()),
         batch_max(opt.resolve_batch_max()),
-        nworkers(opt.resolve_workers()) {
+        nworkers(opt.resolve_workers()),
+        pool_opt(opt.pool) {
     workers.reserve(nworkers);
     for (unsigned w = 0; w < nworkers; ++w) {
       workers.emplace_back([this] { worker_loop(); });
@@ -387,12 +403,13 @@ struct server::impl {
     it.prom.set_value(std::move(resp));
   }
 
-  void reject(queued_item& it, reject_reason r) {
+  void reject(queued_item& it, reject_reason r,
+              const std::string& detail = "") {
     count_reject(r);
     response resp;
     resp.ok = false;
     resp.reason = r;
-    resp.error = to_string(r);
+    resp.error = detail.empty() ? to_string(r) : detail;
     finish(it, std::move(resp));
   }
 
@@ -413,6 +430,21 @@ struct server::impl {
     if (!valid) {
       reject(it, reject_reason::bad_request);
       return fut;
+    }
+    if (it.req.kind == request::op::compress && !it.req.spec.empty()) {
+      // Resolve the spec at admission: malformed specs answer
+      // synchronously with the parse error, and workers never parse.
+      try {
+        const auto sp = spec::parse(it.req.spec);
+        spec::validate<f32>(sp);
+        it.cfg = spec::to_config(sp, cfg.eb);
+        it.spec_key = spec::to_string(sp);
+        it.has_spec = true;
+      } catch (const error& e) {
+        reject(it, reject_reason::bad_request, e.what());
+        return fut;
+      }
+      ++spec_requests;
     }
     {
       std::lock_guard lk(mu);
@@ -460,8 +492,24 @@ struct server::impl {
   }
 
   [[nodiscard]] bool batchable(const queued_item& it, dims3 d) const {
-    return it.req.kind == request::op::compress && it.req.dims == d &&
-           it.req.data.size() <= batch_elems;
+    // Spec-carrying requests are never coalesced: a batch runs one config.
+    return it.req.kind == request::op::compress && !it.has_spec &&
+           it.req.dims == d && it.req.data.size() <= batch_elems;
+  }
+
+  /// The lazily-built pool for one canonical spec. Same sizing knobs as
+  /// the main pool.
+  pipeline_pool<f32>& spec_pool(const std::string& key,
+                                const core::pipeline_config& scfg) {
+    std::lock_guard lk(spec_mu);
+    auto it = spec_pools.find(key);
+    if (it == spec_pools.end()) {
+      it = spec_pools
+               .emplace(key,
+                        std::make_unique<pipeline_pool<f32>>(scfg, pool_opt))
+               .first;
+    }
+    return *it->second;
   }
 
   /// Gather further same-shaped small compress requests for a coalesced
@@ -540,7 +588,11 @@ struct server::impl {
     const u64 t0 = trace::enabled() ? trace::now_ns() : 0;
     const bool is_compress = it.req.kind == request::op::compress;
     try {
-      if (is_compress) {
+      if (is_compress && it.has_spec) {
+        auto lease = spec_pool(it.spec_key, it.cfg).acquire();
+        resp.archive = lease->compress(
+            std::span<const f32>(it.req.data), it.req.dims);
+      } else if (is_compress) {
         auto lease = pool.acquire();
         resp.archive = lease->compress(
             std::span<const f32>(it.req.data), it.req.dims);
@@ -677,6 +729,7 @@ server::stats_snapshot server::stats() const {
   s.completed = impl_->completed.load();
   s.batched = impl_->batched.load();
   s.batches = impl_->batches.load();
+  s.spec_requests = impl_->spec_requests.load();
   {
     std::lock_guard lk(impl_->mu);
     s.queue_depth = impl_->depth;

@@ -169,6 +169,12 @@ struct request {
   std::vector<f32> data;     ///< compress payload (owned)
   dims3 dims;                ///< compress shape; data.size() must match
   std::vector<u8> archive;   ///< decompress payload (owned)
+  /// Optional per-request pipeline spec (docs/PIPELINES.md grammar or
+  /// JSON) for compress: overrides the server's configured stages while
+  /// keeping its error bound. A malformed or unknown-module spec is a
+  /// bad_request whose response carries the parse error. Decompression
+  /// never needs one — archives are self-describing.
+  std::string spec;
   /// Per-request deadline override in ms from submission; 0 uses the
   /// server default (which may be "none").
   u64 deadline_ms = 0;
@@ -255,6 +261,7 @@ class server {
     u64 completed = 0;      ///< requests answered (served or failed)
     u64 batched = 0;        ///< requests served via a coalesced run
     u64 batches = 0;        ///< coalesced runs executed
+    u64 spec_requests = 0;  ///< compresses served with a per-request spec
     u64 queue_depth = 0;    ///< currently queued
     u64 peak_depth = 0;
   };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fzmod/common/rng.hh"
+#include "fzmod/core/pipeline.hh"
 #include "fzmod/metrics/metrics.hh"
 #include "fzmod/serve/daemon.hh"
 #include "fzmod/serve/serve.hh"
@@ -332,6 +333,49 @@ TEST(ServeServer, StopDrainsThenRejectsNewWork) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-request pipeline specs
+
+TEST(ServeServer, PerRequestSpecOverridesBoundPipeline) {
+  server_options sopt;
+  sopt.workers = 1;
+  server srv(test_config(), sopt);
+
+  const dims3 d{80, 40, 1};
+  const auto field = smooth_field(d);
+  request c;
+  c.kind = request::op::compress;
+  c.data = field;
+  c.dims = d;
+  c.spec = "delta+fixed-block";
+  response rc = srv.execute(std::move(c));
+  ASSERT_TRUE(rc.ok) << rc.error;
+  // The spec rode into the archive: it self-describes as the override,
+  // not as the server's bound preset.
+  EXPECT_EQ(core::inspect_archive(rc.archive).spec, "delta+fixed-block");
+
+  // Decompression needs no spec — the same server decodes it.
+  request dreq;
+  dreq.kind = request::op::decompress;
+  dreq.archive = rc.archive;
+  response rd = srv.execute(std::move(dreq));
+  ASSERT_TRUE(rd.ok) << rd.error;
+  expect_within_bound(field, rd.data, 1e-4);
+  EXPECT_EQ(srv.stats().spec_requests, 1u);
+
+  // A malformed spec rejects synchronously with the parse error's text.
+  request bad;
+  bad.kind = request::op::compress;
+  bad.data = field;
+  bad.dims = d;
+  bad.spec = "lorenzo+hufman";
+  response rb = srv.execute(std::move(bad));
+  EXPECT_FALSE(rb.ok);
+  EXPECT_EQ(rb.reason, reject_reason::bad_request);
+  EXPECT_NE(rb.error.find("hufman"), std::string::npos) << rb.error;
+  EXPECT_EQ(srv.stats().spec_requests, 1u);  // rejected specs don't count
+}
+
+// ---------------------------------------------------------------------------
 // Batching
 
 TEST(ServeServer, BatchDemuxIsByteIdenticalToIndividualRuns) {
@@ -593,6 +637,59 @@ TEST(ServeDaemon, ProtocolRoundTripAndErrors) {
   auto byeresp = handle_request_body(srv, bye, want_shutdown);
   EXPECT_EQ(byeresp[0], wire_ok);
   EXPECT_TRUE(want_shutdown);
+}
+
+std::vector<u8> frame_compress_spec(std::string_view spec, dims3 d,
+                                    std::span<const f32> data) {
+  std::vector<u8> body;
+  body.push_back(op_compress_spec);
+  body.push_back(0);  // no tenant
+  const u16 spec_len = static_cast<u16>(spec.size());
+  const u8* sp = reinterpret_cast<const u8*>(&spec_len);
+  body.insert(body.end(), sp, sp + sizeof(spec_len));
+  body.insert(body.end(), spec.begin(), spec.end());
+  const u64 dims[3] = {d.x, d.y, d.z};
+  const u8* dp = reinterpret_cast<const u8*>(dims);
+  body.insert(body.end(), dp, dp + sizeof(dims));
+  const u8* fp = reinterpret_cast<const u8*>(data.data());
+  body.insert(body.end(), fp, fp + data.size_bytes());
+  return body;
+}
+
+TEST(ServeDaemon, SpecFrameRoundTripAndRejection) {
+  server_options sopt;
+  sopt.workers = 1;
+  server srv(test_config(), sopt);
+  bool want_shutdown = false;
+
+  const dims3 d{50, 20, 2};
+  const auto field = smooth_field(d);
+  auto creq = frame_compress_spec("delta+huffman", d, field);
+  auto cresp = handle_request_body(srv, creq, want_shutdown);
+  ASSERT_GT(cresp.size(), 1u);
+  ASSERT_EQ(cresp[0], wire_ok);
+  const std::vector<u8> archive(cresp.begin() + 1, cresp.end());
+  EXPECT_EQ(core::inspect_archive(archive).spec, "delta+huffman");
+
+  // The archive self-describes: a default-constructed local pipeline
+  // (no spec, no flags) reconstructs it.
+  core::pipeline<f32> p{core::pipeline_config{}};
+  expect_within_bound(field, p.decompress(archive), 1e-4);
+
+  // Malformed spec text → bad_request echoing the offending token.
+  auto bad = frame_compress_spec("lorenzo+hufman", d, field);
+  auto badresp = handle_request_body(srv, bad, want_shutdown);
+  ASSERT_FALSE(badresp.empty());
+  EXPECT_EQ(badresp[0], static_cast<u8>(reject_reason::bad_request));
+  const std::string err(badresp.begin() + 1, badresp.end());
+  EXPECT_NE(err.find("hufman"), std::string::npos) << err;
+
+  // Spec length running past the frame → bad_request, no crash.
+  std::vector<u8> trunc{op_compress_spec, 0, 0xFF, 0xFF};
+  auto truncresp = handle_request_body(srv, trunc, want_shutdown);
+  ASSERT_FALSE(truncresp.empty());
+  EXPECT_EQ(truncresp[0], static_cast<u8>(reject_reason::bad_request));
+  EXPECT_FALSE(want_shutdown);
 }
 
 }  // namespace

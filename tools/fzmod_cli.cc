@@ -8,7 +8,8 @@
 //                    [--chunk-mb N] [--jobs N]   (chunk-parallel, v3)
 //   fzmod decompress -i field.fzmod -o field.f32 [--jobs N]
 //                    [--range OFF,N]             (random access, v3)
-//   fzmod inspect    -i field.fzmod
+//   fzmod inspect    -i field.fzmod | --pipeline SPEC
+//   fzmod modules    (list the registered stage modules)
 //   fzmod gen        --dataset cesm|hacc|hurr|nyx [--field N] -o out.f32
 //   fzmod verify     -i field.fzmod               (archive integrity)
 //   fzmod verify     -a orig.f32 -b recon.f32 --dims X[,Y[,Z]]
@@ -31,11 +32,13 @@
 #include "fzmod/core/chunked.hh"
 #include "fzmod/core/pipeline.hh"
 #include "fzmod/core/reader.hh"
+#include "fzmod/core/registry.hh"
 #include "fzmod/core/stf_pipeline.hh"
 #include "fzmod/data/datasets.hh"
 #include "fzmod/data/io.hh"
 #include "fzmod/metrics/metrics.hh"
 #include "fzmod/serve/daemon.hh"
+#include "fzmod/spec/spec.hh"
 #include "fzmod/trace/trace.hh"
 
 namespace {
@@ -49,7 +52,9 @@ using namespace fzmod;
                "  fzmod compress   -i IN.f32 -o OUT.fzmod --dims X[,Y[,Z]]"
                " [--eb B] [--mode rel|abs|pwrel]\n"
                "                   [--preset default|speed|quality]"
-               " [--predictor P] [--codec C] [--secondary]\n"
+               " [--pipeline SPEC]\n"
+               "                   [--predictor P] [--codec C]"
+               " [--secondary]\n"
                "                   [--auto balanced|throughput|ratio|"
                "quality]\n"
                "                   [--kernel-tier auto|portable|vector]\n"
@@ -63,7 +68,8 @@ using namespace fzmod;
                " (seekable reader; docs/RUNTIME.md)\n"
                "                   [--index OUT.fzx] [--use-index IN.fzx]"
                " (sidecar chunk index)\n"
-               "  fzmod inspect    -i IN.fzmod\n"
+               "  fzmod inspect    -i IN.fzmod | --pipeline SPEC\n"
+               "  fzmod modules    (list registered stage modules)\n"
                "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
                " [--field N] -o OUT.f32\n"
                "  fzmod verify     -i IN.fzmod            (archive"
@@ -72,6 +78,8 @@ using namespace fzmod;
                " X[,Y[,Z]]\n"
                "  fzmod serve      --socket PATH | --stdio  [--eb B]"
                " [--mode rel|abs] [--preset P]\n"
+               "                   [--pipeline SPEC]  (per-daemon default;"
+               " requests may override)\n"
                "                   [--pool N] [--warm N] [--queue N]"
                " [--deadline-ms N]\n"
                "                   [--batch N] [--batch-max N]"
@@ -147,6 +155,19 @@ dims3 parse_dims(const std::string& s) {
   return d;
 }
 
+/// Parse + validate a --pipeline spec; grammar/JSON errors (which carry
+/// the offending token and position) become usage errors.
+core::pipeline_config config_from_spec(const std::string& text,
+                                       const eb_config& ebc) {
+  try {
+    const auto sp = spec::parse(text);
+    spec::validate<f32>(sp);
+    return spec::to_config(sp, ebc);
+  } catch (const error& e) {
+    usage(e.what());
+  }
+}
+
 core::pipeline_config build_config(const args& a, std::span<const f32> data,
                                    dims3 dims) {
   const f64 eb = std::atof(a.get("--eb", "1e-4").c_str());
@@ -154,6 +175,26 @@ core::pipeline_config build_config(const args& a, std::span<const f32> data,
   eb_config ebc{eb, mode == "abs" ? eb_mode::abs : eb_mode::rel};
 
   core::pipeline_config cfg;
+  if (a.has("--pipeline")) {
+    for (const char* other :
+         {"--auto", "--preset", "--predictor", "--codec", "--secondary"}) {
+      if (a.has(other)) {
+        usage((std::string("--pipeline already fixes the stages; drop ") +
+               other)
+                  .c_str());
+      }
+    }
+    cfg = config_from_spec(a.get("--pipeline"), ebc);
+    if (mode == "pwrel") {
+      cfg.preprocessor = core::preprocess_log;
+      cfg.eb = {eb, eb_mode::abs};
+    }
+    if (a.has("--kernel-tier")) {
+      cfg.kernel_tier =
+          device::parse_kernel_tier_policy(a.get("--kernel-tier"));
+    }
+    return cfg;
+  }
   if (a.has("--auto")) {
     const std::string goal = a.get("--auto");
     core::objective o = core::objective::balanced;
@@ -165,15 +206,10 @@ core::pipeline_config build_config(const args& a, std::span<const f32> data,
     std::fprintf(stderr, "autotune: %s\n", rep.rationale.c_str());
     cfg = rep.config;
   } else {
-    const std::string preset = a.get("--preset", "default");
-    if (preset == "default") {
-      cfg = core::pipeline_config::preset_default(ebc);
-    } else if (preset == "speed") {
-      cfg = core::pipeline_config::preset_speed(ebc);
-    } else if (preset == "quality") {
-      cfg = core::pipeline_config::preset_quality(ebc);
-    } else {
-      usage(("bad --preset: " + preset).c_str());
+    try {
+      cfg = core::pipeline_config::preset(a.get("--preset", "default"), ebc);
+    } catch (const error& e) {
+      usage(e.what());
     }
   }
   if (mode == "pwrel") {
@@ -334,6 +370,15 @@ int cmd_decompress(const args& a) {
 }
 
 int cmd_inspect(const args& a) {
+  if (!a.has("-i") && a.has("--pipeline")) {
+    // Offline spec check: echo the canonical one-liner and the JSON form.
+    const auto cfg = config_from_spec(a.get("--pipeline"), {1e-4,
+                                                           eb_mode::rel});
+    const auto sp = spec::from_config(cfg);
+    std::printf("pipeline : %s\n", spec::to_string(sp).c_str());
+    std::printf("json     : %s\n", spec::to_json(sp).c_str());
+    return 0;
+  }
   const auto archive = data::read_file(a.require("-i"));
   if (core::fmt::is_chunk_container(archive)) {
     const auto ci = core::inspect_chunked(archive);
@@ -370,11 +415,26 @@ int cmd_inspect(const args& a) {
   std::printf("predictor     : %s\n", info.predictor.c_str());
   std::printf("codec         : %s\n", info.codec.c_str());
   std::printf("secondary     : %s\n", info.secondary ? "lz" : "none");
+  std::printf("pipeline      : %s\n",
+              info.spec.empty() ? "(none embedded)" : info.spec.c_str());
   std::printf("outliers      : %llu (+%llu value outliers)\n",
               static_cast<unsigned long long>(info.n_outliers),
               static_cast<unsigned long long>(info.n_value_outliers));
   std::printf("archive bytes : %zu (%.3f bits/value)\n", archive.size(),
               metrics::bit_rate(archive.size(), info.dims.len()));
+  return 0;
+}
+
+int cmd_modules() {
+  // The registry self-registers its built-ins on first use, so this lists
+  // exactly what a `--pipeline` spec can name.
+  std::printf("%-14s %-13s %s\n", "name", "kind", "description");
+  for (const auto& m : core::module_registry<f32>::instance().list()) {
+    std::printf("%-14s %-13s %s\n", m.name.c_str(),
+                core::to_string(m.kind), m.description.c_str());
+  }
+  std::printf("%-14s %-13s %s\n", "lz", "secondary",
+              "lossless secondary compression of the archive body");
   return 0;
 }
 
@@ -430,6 +490,7 @@ int cmd_verify(const args& a) {
     row("outliers", rep.outliers_ok);
     row("value outliers", rep.value_outliers_ok);
     row("anchors", rep.anchors_ok);
+    row("spec", rep.spec_ok);
     std::printf("archive        : %s\n", rep.ok() ? "OK" : "CORRUPT");
     return rep.ok() ? 0 : 1;
   }
@@ -459,15 +520,16 @@ int cmd_serve(const args& a) {
   const std::string mode = a.get("--mode", "rel");
   if (mode != "rel" && mode != "abs") usage(("bad --mode: " + mode).c_str());
   const eb_config ebc{eb, mode == "abs" ? eb_mode::abs : eb_mode::rel};
-  const std::string preset = a.get("--preset", "default");
-  if (preset == "default") {
-    opt.cfg = core::pipeline_config::preset_default(ebc);
-  } else if (preset == "speed") {
-    opt.cfg = core::pipeline_config::preset_speed(ebc);
-  } else if (preset == "quality") {
-    opt.cfg = core::pipeline_config::preset_quality(ebc);
+  if (a.has("--pipeline")) {
+    if (a.has("--preset")) usage("--pipeline already fixes the stages");
+    opt.cfg = config_from_spec(a.get("--pipeline"), ebc);
   } else {
-    usage(("bad --preset: " + preset).c_str());
+    try {
+      opt.cfg = core::pipeline_config::preset(a.get("--preset", "default"),
+                                              ebc);
+    } catch (const error& e) {
+      usage(e.what());
+    }
   }
 
   // CLI flags override the FZMOD_SERVE_* environment (docs/SERVING.md).
@@ -522,6 +584,7 @@ int main(int argc, char** argv) {
     if (cmd == "compress") return cmd_compress(a);
     if (cmd == "decompress") return cmd_decompress(a);
     if (cmd == "inspect") return cmd_inspect(a);
+    if (cmd == "modules") return cmd_modules();
     if (cmd == "gen") return cmd_gen(a);
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "serve") return cmd_serve(a);

@@ -18,6 +18,7 @@ import sys
 import time
 
 OP_COMPRESS, OP_DECOMPRESS, OP_PING, OP_SHUTDOWN = 1, 2, 3, 4
+OP_COMPRESS_SPEC = 5  # [u16 spec_len][spec] before the dims (docs/PIPELINES.md)
 DIMS = (48, 32, 2)
 REL_EB = 1e-4  # the daemon's default error bound (fzmod serve --eb)
 
@@ -86,6 +87,27 @@ def main():
     bound = REL_EB * rng * 1.05 + 1e-5
     worst = max(abs(a - b) for a, b in zip(field, recon))
     assert worst <= bound, f"max abs err {worst:g} exceeds bound {bound:g}"
+
+    # Spec-carrying compress (op 5): a non-default pipeline per request;
+    # the archive is self-describing, so the same flagless decompress works.
+    spec = b"delta+fixed-block"
+    status, archive2 = roundtrip(
+        sock, OP_COMPRESS_SPEC, struct.pack("<H", len(spec)) + spec + payload
+    )
+    assert status == 0, f"spec compress failed with status {status}: {archive2!r}"
+    status, raw2 = roundtrip(sock, OP_DECOMPRESS, archive2)
+    assert status == 0, f"spec decompress failed with status {status}: {raw2!r}"
+    recon2 = struct.unpack(f"<{n}f", raw2)
+    worst2 = max(abs(a - b) for a, b in zip(field, recon2))
+    assert worst2 <= bound, f"spec max abs err {worst2:g} exceeds {bound:g}"
+
+    # A malformed spec must answer bad_request (4) with the parse error.
+    bad = b"lorenzo+hufman"
+    status, err = roundtrip(
+        sock, OP_COMPRESS_SPEC, struct.pack("<H", len(bad)) + bad + payload
+    )
+    assert status == 4, f"bad spec: expected status 4, got {status}"
+    assert b"hufman" in err, f"bad spec error should echo the token: {err!r}"
 
     status, _ = roundtrip(sock, OP_SHUTDOWN, b"")
     assert status == 0, f"shutdown failed with status {status}"
