@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -760,6 +761,327 @@ struct fzx_view {
   std::memcpy(fv.entries.data(), index.data() + sizeof(fzx_header),
               dir_bytes);
   return fv;
+}
+
+// --- multi-field container ("FZMF") ----------------------------------------
+//
+// One archive, many named fields: a dataset snapshot written by the
+// streaming layer (core/stream_io.hh). Layout mirrors the v3 container's
+// streaming-friendly design — fixed header first, payload as it is
+// produced, directory at the tail so field archive sizes need not be
+// known up front (docs/FORMAT.md and docs/STREAMING.md are normative):
+//
+//   multi := multi_header | field archives | field directory | u64 dir_digest
+//
+// Each field archive is a complete, self-contained v2 archive or v3 chunk
+// container, byte-identical to what a single-field compression of that
+// field would produce — `select_field()` hands back a span any existing
+// decoder accepts unchanged. Old single-field archives are unaffected:
+// every consumer dispatches on the outer magic first, and "FZMF" is a new
+// magic, not a change to v1/v2/v3. The in-memory `core::snapshot`
+// container (TOC at the front, loads everything) remains for small
+// snapshots; this container is the out-of-core variant.
+
+inline constexpr u32 multi_magic = 0x465a4d46;  // "FZMF"
+inline constexpr u16 multi_container_version = 1;
+inline constexpr std::size_t multi_name_bytes = 40;  // incl. NUL
+/// Field-count ceiling: a directory is read whole before validation, so
+/// an implausible count must not drive a giant allocation.
+inline constexpr u64 multi_max_fields = 4096;
+
+#pragma pack(push, 1)
+/// Fixed-size container header (16 bytes), written before the first field
+/// compresses. The field count is known up front (callers pass the full
+/// field list); everything variable-length lives in the tail directory.
+struct multi_header {
+  u32 magic;    // multi_magic
+  u16 version;  // multi_container_version
+  u16 nfields;  // >= 1
+  u64 digest_header;  // self-digest with this slot zeroed
+};
+
+/// One field directory entry (96 bytes). `archive_offset` is relative to
+/// the end of multi_header, so entries are independent of header size.
+struct field_dir_entry {
+  char name[multi_name_bytes];  // NUL-terminated, nonempty, unique
+  u8 type;                      // dtype of the field
+  u8 pad[7];                    // must be zero
+  u64 dims[3];                  // field extents
+  u64 archive_offset;           // field archive start, bytes past header
+  u64 archive_bytes;            // field archive size
+  u64 digest;                   // chunked_hash of the field archive bytes
+};
+#pragma pack(pop)
+
+static_assert(sizeof(multi_header) == 16 && sizeof(field_dir_entry) == 96,
+              "multi-field container layout must stay byte-stable");
+
+[[nodiscard]] inline u64 multi_header_digest(multi_header hdr) {
+  hdr.digest_header = 0;
+  return common::xxhash64(&hdr, sizeof(hdr), 0);
+}
+
+/// Cheap dispatch: does this blob carry the multi-field magic? Single-
+/// field archives (v1/v2/v3) and garbage answer false.
+[[nodiscard]] inline bool is_multi_container(std::span<const u8> archive) {
+  if (archive.size() < sizeof(u32)) return false;
+  u32 magic;
+  std::memcpy(&magic, archive.data(), sizeof(magic));
+  return magic == multi_magic;
+}
+
+/// Validate an out-of-band field directory against a payload size: names
+/// well-formed and unique, dims/dtype plausible, archive extents tiling
+/// the payload contiguously. Shared by the span parse and the streaming
+/// reader open, so a forged directory can never slice out of bounds.
+inline void validate_field_directory(
+    std::span<const field_dir_entry> entries, u64 payload_bytes) {
+  u64 arch_at = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const field_dir_entry& e = entries[i];
+    const std::size_t nlen =
+        ::strnlen(e.name, multi_name_bytes);
+    FZMOD_REQUIRE(nlen >= 1 && nlen < multi_name_bytes,
+                  status::corrupt_archive,
+                  "multi container: field name not NUL-terminated or empty");
+    for (const u8 p : e.pad) {
+      FZMOD_REQUIRE(p == 0, status::corrupt_archive,
+                    "multi container: nonzero entry padding");
+    }
+    FZMOD_REQUIRE(e.type <= 1, status::corrupt_archive,
+                  "multi container: unknown field dtype");
+    const dims3 fd{e.dims[0], e.dims[1], e.dims[2]};
+    FZMOD_REQUIRE(!fd.len_invalid(), status::corrupt_archive,
+                  "multi container: field dims out of supported range");
+    FZMOD_REQUIRE(e.archive_offset == arch_at &&
+                      e.archive_bytes >= 1 &&
+                      e.archive_bytes <= payload_bytes - arch_at,
+                  status::corrupt_archive,
+                  "multi container: directory does not tile the payload");
+    arch_at += e.archive_bytes;
+    for (std::size_t j = 0; j < i; ++j) {
+      FZMOD_REQUIRE(std::string_view(entries[j].name) !=
+                        std::string_view(e.name),
+                    status::corrupt_archive,
+                    "multi container: duplicate field name");
+    }
+  }
+  FZMOD_REQUIRE(arch_at == payload_bytes, status::corrupt_archive,
+                "multi container: directory leaves a tail uncovered");
+}
+
+/// Parsed multi-field container: header, directory, and the payload
+/// region the directory's archive offsets index into.
+struct multi_view {
+  multi_header hdr{};
+  std::span<const u8> payload;  // between header and directory
+  std::vector<field_dir_entry> entries;
+};
+
+/// Parse + structurally validate a multi-field container. Digest checks
+/// (header self-digest, directory digest) are gated on `check_digests`;
+/// per-field archive digests are checked by `select_field` so the caller
+/// learns *which* field is damaged.
+[[nodiscard]] inline multi_view parse_multi_container(
+    std::span<const u8> archive, bool check_digests) {
+  FZMOD_REQUIRE(archive.size() >= sizeof(multi_header),
+                status::corrupt_archive, "multi container too small");
+  multi_view mv;
+  std::memcpy(&mv.hdr, archive.data(), sizeof(mv.hdr));
+  FZMOD_REQUIRE(mv.hdr.magic == multi_magic &&
+                    mv.hdr.version == multi_container_version,
+                status::corrupt_archive, "bad multi container header");
+  if (check_digests) {
+    FZMOD_REQUIRE(multi_header_digest(mv.hdr) == mv.hdr.digest_header,
+                  status::corrupt_archive,
+                  "multi container: header digest mismatch");
+  }
+  FZMOD_REQUIRE(mv.hdr.nfields >= 1 && mv.hdr.nfields <= multi_max_fields,
+                status::corrupt_archive,
+                "multi container: implausible field count");
+  const u64 dir_bytes =
+      static_cast<u64>(mv.hdr.nfields) * sizeof(field_dir_entry);
+  FZMOD_REQUIRE(
+      archive.size() >= sizeof(multi_header) + dir_bytes + sizeof(u64),
+      status::corrupt_archive, "multi container: directory truncated");
+  const std::size_t dir_at = archive.size() - sizeof(u64) -
+                             static_cast<std::size_t>(dir_bytes);
+  mv.payload = archive.subspan(sizeof(multi_header),
+                               dir_at - sizeof(multi_header));
+  const std::span<const u8> dir =
+      archive.subspan(dir_at, static_cast<std::size_t>(dir_bytes));
+  if (check_digests) {
+    u64 dir_digest;
+    std::memcpy(&dir_digest, archive.data() + dir_at + dir_bytes,
+                sizeof(dir_digest));
+    FZMOD_REQUIRE(kernels::chunked_hash(dir) == dir_digest,
+                  status::corrupt_archive,
+                  "multi container: directory digest mismatch");
+  }
+  mv.entries.resize(mv.hdr.nfields);
+  std::memcpy(mv.entries.data(), dir.data(), dir.size());
+  validate_field_directory(mv.entries, mv.payload.size());
+  return mv;
+}
+
+[[nodiscard]] inline multi_view parse_multi_container(
+    std::span<const u8> archive) {
+  return parse_multi_container(archive, verify_enabled());
+}
+
+/// One field's archive bytes within a parsed container.
+[[nodiscard]] inline std::span<const u8> field_archive(
+    const multi_view& mv, const field_dir_entry& e) {
+  return mv.payload.subspan(static_cast<std::size_t>(e.archive_offset),
+                            static_cast<std::size_t>(e.archive_bytes));
+}
+
+/// Format a container's field names for an error message ("a, b, c").
+[[nodiscard]] inline std::string field_name_list(const multi_view& mv) {
+  std::string out;
+  for (const field_dir_entry& e : mv.entries) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+/// Find a field by name; null when absent.
+[[nodiscard]] inline const field_dir_entry* find_field(
+    const multi_view& mv, std::string_view name) {
+  for (const field_dir_entry& e : mv.entries) {
+    if (std::string_view(e.name) == name) return &e;
+  }
+  return nullptr;
+}
+
+/// Resolve a (possibly multi-field) archive span to one field's archive
+/// bytes, which any existing v1/v2/v3 decoder accepts unchanged. The
+/// returned span aliases `archive`. Selection rules: a single-field
+/// archive requires an empty name (naming a field there is a caller
+/// error); a multi-field container with exactly one field tolerates an
+/// empty name; otherwise the name must match and errors list what is
+/// available. The field's archive digest is checked here (gated like
+/// every digest) so damage is pinned to the named field.
+[[nodiscard]] inline std::span<const u8> select_field(
+    std::span<const u8> archive, std::string_view name) {
+  if (!is_multi_container(archive)) {
+    FZMOD_REQUIRE(name.empty(), status::invalid_argument,
+                  "field selection: archive is single-field; --field only "
+                  "applies to multi-field containers");
+    return archive;
+  }
+  const multi_view mv = parse_multi_container(archive);
+  const field_dir_entry* e = nullptr;
+  if (name.empty()) {
+    FZMOD_REQUIRE(mv.entries.size() == 1, status::invalid_argument,
+                  "multi-field archive holds " +
+                      std::to_string(mv.entries.size()) +
+                      " fields; pick one with --field (available: " +
+                      field_name_list(mv) + ")");
+    e = &mv.entries[0];
+  } else {
+    e = find_field(mv, name);
+    FZMOD_REQUIRE(e != nullptr, status::invalid_argument,
+                  "multi-field archive: no field named '" +
+                      std::string(name) + "' (available: " +
+                      field_name_list(mv) + ")");
+  }
+  const std::span<const u8> fa = field_archive(mv, *e);
+  if (verify_enabled()) {
+    FZMOD_REQUIRE(kernels::chunked_hash(fa) == e->digest,
+                  status::corrupt_archive,
+                  "multi container: field '" + std::string(e->name) +
+                      "' archive digest mismatch");
+  }
+  return fa;
+}
+
+// --- resume journal ("FZR1") ------------------------------------------------
+//
+// Crash-safe streaming compression writes a sidecar journal next to the
+// output (`out + ".fzr"`): a header binding the journal to one exact
+// compression configuration, then one appended record per committed
+// chunk. After a crash (SIGKILL included), `--resume` replays the journal
+// against the partial output file: a record counts only while its
+// directory entry is in-range for the file, its per-record digest checks
+// out, AND the chunk bytes on disk hash to the entry's digest — so the
+// kernel's independent flush ordering of the two files cannot corrupt a
+// resume, only shorten the salvaged prefix. Compression restarts from the
+// first chunk that fails this validation. The journal is deleted when the
+// archive finalizes; its presence marks an interrupted run.
+
+inline constexpr u32 fzr_magic = 0x465a5231;  // "FZR1"
+inline constexpr u16 fzr_journal_version = 1;
+
+#pragma pack(push, 1)
+/// Fixed-size journal header (64 bytes). `config_digest` hashes the full
+/// pipeline identity (canonical spec text + error bound + mode + dtype +
+/// dims + chunk_elems): resuming with ANY differing knob must recompress
+/// from scratch rather than splice incompatible chunks.
+struct fzr_header {
+  u32 magic;          // fzr_magic
+  u16 version;        // fzr_journal_version
+  u8 type;            // dtype of the field
+  u8 pad;             // must be zero
+  u64 dims[3];        // full-field extents
+  u64 nchunks;        // planned chunk count
+  u64 chunk_elems;    // nominal elements per chunk
+  u64 config_digest;  // pipeline identity digest
+  u64 digest_header;  // self-digest with this slot zeroed
+};
+
+/// One committed-chunk record (48 bytes). `record_digest` covers the
+/// entry seeded with the record's index, so a record replayed at the
+/// wrong position fails validation.
+struct fzr_record {
+  chunk_dir_entry entry;
+  u64 record_digest;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(fzr_header) == 64 && sizeof(fzr_record) == 48,
+              "resume journal layout must stay byte-stable");
+
+[[nodiscard]] inline u64 fzr_header_digest(fzr_header hdr) {
+  hdr.digest_header = 0;
+  return common::xxhash64(&hdr, sizeof(hdr), 0);
+}
+
+[[nodiscard]] inline u64 fzr_record_digest(const chunk_dir_entry& e,
+                                           u64 index) {
+  return common::xxhash64(&e, sizeof(e), index);
+}
+
+/// Parse a journal defensively: a damaged or torn journal yields the
+/// longest valid record prefix, never an exception — resume then simply
+/// salvages less. Returns false only if the header itself is unusable.
+struct fzr_view {
+  fzr_header hdr{};
+  std::vector<chunk_dir_entry> records;  // validated prefix, in order
+};
+
+[[nodiscard]] inline bool parse_resume_journal(std::span<const u8> bytes,
+                                               fzr_view& out) {
+  if (bytes.size() < sizeof(fzr_header)) return false;
+  std::memcpy(&out.hdr, bytes.data(), sizeof(out.hdr));
+  if (out.hdr.magic != fzr_magic ||
+      out.hdr.version != fzr_journal_version || out.hdr.pad != 0 ||
+      fzr_header_digest(out.hdr) != out.hdr.digest_header) {
+    return false;
+  }
+  const std::size_t nrec =
+      (bytes.size() - sizeof(fzr_header)) / sizeof(fzr_record);
+  out.records.reserve(nrec);
+  for (std::size_t i = 0; i < nrec && i < out.hdr.nchunks; ++i) {
+    fzr_record r;
+    std::memcpy(&r, bytes.data() + sizeof(fzr_header) +
+                        i * sizeof(fzr_record),
+                sizeof(r));
+    if (fzr_record_digest(r.entry, i) != r.record_digest) break;
+    out.records.push_back(r.entry);
+  }
+  return true;
 }
 
 // --- varint / outlier unpacking (continued) -------------------------------

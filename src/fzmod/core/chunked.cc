@@ -126,6 +126,44 @@ unsigned chunked_options::resolve_jobs() const {
   return static_cast<unsigned>(std::min<std::size_t>(j, 64));
 }
 
+u64 chunked_options::resolve_stream_mem_bytes() const {
+  const u64 mb = stream_mem_mb
+                     ? stream_mem_mb
+                     : common::env_u64("FZMOD_STREAM_MEM_MB", 0);
+  return mb << 20;
+}
+
+stream_budget resolve_stream_budget(u64 cap_bytes, u64 chunk_bytes,
+                                    unsigned jobs) {
+  if (jobs == 0) jobs = 1;
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  stream_budget b;
+  if (cap_bytes == 0) {
+    // Uncapped: the legacy shape — window scales with jobs, staging one
+    // slot per worker plus a fill-ahead, writer queue bounded only as a
+    // slow-disk backstop.
+    b.window = 2 * static_cast<u64>(jobs);
+    b.workers = jobs;
+    b.read_slots = static_cast<u64>(jobs) + 1;
+    b.write_bytes = u64{256} << 20;
+    return b;
+  }
+  // Capped: each in-flight chunk is charged 4x its raw bytes; the cap
+  // splits C/2 compute window, C/4 read staging, C/4 write queue. The
+  // window never exceeds the uncapped 2*jobs (a cap only shrinks), never
+  // drops below 1 (a cap smaller than one chunk degrades to serial
+  // streaming rather than failing).
+  const u64 per_chunk = 4 * chunk_bytes;
+  b.window = std::clamp<u64>((cap_bytes / 2) / per_chunk, 1,
+                             2 * static_cast<u64>(jobs));
+  b.workers = static_cast<unsigned>(
+      std::min<u64>(static_cast<u64>(jobs), b.window));
+  b.read_slots =
+      std::clamp<u64>((cap_bytes / 4) / chunk_bytes, 1, b.window + 1);
+  b.write_bytes = std::max<u64>(cap_bytes / 4, u64{1} << 20);
+  return b;
+}
+
 std::vector<chunk_extent> plan_chunks(dims3 dims, std::size_t chunk_elems) {
   FZMOD_REQUIRE(!dims.len_invalid(), status::invalid_argument,
                 "plan_chunks: invalid dims");
@@ -245,15 +283,52 @@ std::vector<u8> chunked_pipeline<T>::compress(std::span<const T> data,
   return out;
 }
 
+namespace {
+
+/// Accounted-memory ledger for the streaming peak counter: every byte a
+/// streaming compression holds (stage copies, device lattices, finished
+/// archives awaiting commit) is added while held; the high-water mark is
+/// the `stream.peak_bytes` surface. Lock-free so workers account from
+/// any thread.
+struct mem_ledger {
+  std::atomic<u64> cur{0};
+  std::atomic<u64> peak{0};
+  void add(u64 n) {
+    const u64 c = cur.fetch_add(n, std::memory_order_relaxed) + n;
+    u64 p = peak.load(std::memory_order_relaxed);
+    while (c > p &&
+           !peak.compare_exchange_weak(p, c, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(u64 n) { cur.fetch_sub(n, std::memory_order_relaxed); }
+};
+
+}  // namespace
+
 template <class T>
 void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
                                           const sink_fn& sink) {
+  compress_stream(src, dims, sink, stream_progress{});
+}
+
+template <class T>
+void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
+                                          const sink_fn& sink,
+                                          stream_progress progress) {
   FZMOD_REQUIRE(!dims.len_invalid(), status::invalid_argument,
                 "chunked compress: invalid dims");
   const std::size_t chunk_elems = opt_.resolve_chunk_elems(sizeof(T));
   const std::vector<chunk_extent> extents = plan_chunks(dims, chunk_elems);
   const u64 nchunks = extents.size();
+  FZMOD_REQUIRE(progress.first_chunk <= nchunks &&
+                    progress.committed.size() == progress.first_chunk,
+                status::invalid_argument,
+                "compress_stream: resume state inconsistent with the plan");
 
+  if (nchunks == 1) {
+    FZMOD_REQUIRE(progress.first_chunk == 0, status::invalid_argument,
+                  "compress_stream: cannot resume a single-chunk plan");
+  }
   if (nchunks == 1) {
     // Single-chunk plan: bypass the container so the output is the plain
     // v2 archive, byte-identical to core::pipeline.
@@ -266,26 +341,41 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
     return;
   }
 
-  fmt::chunk_header_v3 hdr{};
-  hdr.magic = fmt::chunk_magic_v3;
-  hdr.version = fmt::chunk_container_version;
-  hdr.type = static_cast<u8>(dtype_of<T>());
-  hdr.pad = 0;
-  hdr.dims[0] = dims.x;
-  hdr.dims[1] = dims.y;
-  hdr.dims[2] = dims.z;
-  hdr.nchunks = nchunks;
-  hdr.chunk_elems = chunk_elems;
-  hdr.digest_header = fmt::chunk_header_digest(hdr);
-  sink(std::span<const u8>(reinterpret_cast<const u8*>(&hdr), sizeof(hdr)));
+  if (progress.emit_header) {
+    fmt::chunk_header_v3 hdr{};
+    hdr.magic = fmt::chunk_magic_v3;
+    hdr.version = fmt::chunk_container_version;
+    hdr.type = static_cast<u8>(dtype_of<T>());
+    hdr.pad = 0;
+    hdr.dims[0] = dims.x;
+    hdr.dims[1] = dims.y;
+    hdr.dims[2] = dims.z;
+    hdr.nchunks = nchunks;
+    hdr.chunk_elems = chunk_elems;
+    hdr.digest_header = fmt::chunk_header_digest(hdr);
+    sink(std::span<const u8>(reinterpret_cast<const u8*>(&hdr),
+                             sizeof(hdr)));
+  }
 
-  const unsigned nworkers =
-      static_cast<unsigned>(std::min<u64>(opt_.resolve_jobs(), nchunks));
-  trace::counter("chunked.slots", static_cast<f64>(nworkers));
   // Bounded in-flight window: a slot may only claim chunk c while
   // c < committed + window, so a slow chunk cannot let the finished-but-
-  // uncommitted backlog (and therefore memory) grow without bound.
-  const u64 window = 2 * static_cast<u64>(nworkers);
+  // uncommitted backlog (and therefore memory) grow without bound. With a
+  // memory cap (FZMOD_STREAM_MEM_MB) the window shrinks to fit the cap
+  // instead of scaling with jobs — resolve_stream_budget is the model.
+  const stream_budget budget = resolve_stream_budget(
+      opt_.resolve_stream_mem_bytes(),
+      static_cast<u64>(chunk_elems) * sizeof(T), opt_.resolve_jobs());
+  const u64 window = budget.window;
+  const u64 remaining = nchunks - progress.first_chunk;
+  const unsigned nworkers = static_cast<unsigned>(
+      std::min<u64>(budget.workers, std::max<u64>(remaining, 1)));
+  trace::counter("chunked.slots", static_cast<f64>(nworkers));
+  if (progress.io) {
+    progress.io->window = window;
+    progress.io->workers = nworkers;
+    progress.io->chunks_total = nchunks;
+    progress.io->chunks_resumed = progress.first_chunk;
+  }
 
   struct shared_state {
     std::mutex mu;
@@ -298,6 +388,13 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
     std::exception_ptr err;
   } sh;
   sh.entries.resize(nchunks);
+  sh.next = progress.first_chunk;
+  sh.committed = progress.first_chunk;
+  for (u64 k = 0; k < progress.first_chunk; ++k) {
+    sh.entries[k] = progress.committed[k];
+    sh.arch_at += progress.committed[k].archive_bytes;
+  }
+  mem_ledger ledger;
 
   auto worker = [&] {
     // Per-slot working set: the chunk pipelines never share scratch. The
@@ -324,12 +421,16 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
       if (t0) trace::counter("chunked.inflight", static_cast<f64>(inflight));
       const chunk_extent& e = extents[c];
       try {
+        // Ledger: the stage copy + device lattice while compressing, plus
+        // the finished archive until its commit releases all three.
+        ledger.add(2 * e.len * sizeof(T));
         stage.resize(e.len);
         src(stage.data(), e.offset, e.len);
         dev.ensure(e.len, device::space::device);
         device::memcpy_async(dev.data(), stage.data(), e.len * sizeof(T),
                              device::copy_kind::h2d, s);
         std::vector<u8> arch = pipe.compress(dev, e.dims, s);
+        ledger.add(arch.size());
         if (t0) {
           trace::complete("chunked", "chunk#" + std::to_string(c), t0,
                           trace::now_ns() - t0, 0, static_cast<f64>(e.len));
@@ -355,6 +456,8 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
           sh.entries[sh.committed] = de;
           sh.arch_at += bytes.size();
           sink(bytes);
+          if (progress.on_commit) progress.on_commit(sh.committed, de);
+          ledger.sub(2 * ce.len * sizeof(T) + bytes.size());
           trace::instant("chunked", "commit", 0,
                          static_cast<f64>(sh.committed));
           ++sh.committed;
@@ -373,11 +476,18 @@ void chunked_pipeline<T>::compress_stream(const source_fn& src, dims3 dims,
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(nworkers);
-  for (unsigned w = 0; w < nworkers; ++w) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
+  if (remaining > 0) {
+    std::vector<std::thread> threads;
+    threads.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
   if (sh.err) std::rethrow_exception(sh.err);
+  const u64 peak = ledger.peak.load(std::memory_order_relaxed);
+  trace::counter("stream.peak_bytes", static_cast<f64>(peak));
+  if (progress.io) {
+    progress.io->peak_bytes = std::max(progress.io->peak_bytes, peak);
+  }
 
   std::vector<u8> dir(nchunks * sizeof(fmt::chunk_dir_entry));
   std::memcpy(dir.data(), sh.entries.data(), dir.size());

@@ -55,9 +55,47 @@ struct chunked_options {
   std::size_t chunk_mb = 0;     // nominal chunk size in MiB
   std::size_t chunk_elems = 0;  // explicit element override (wins)
   unsigned jobs = 0;            // max concurrent per-chunk streams
+  /// Peak-memory cap for streaming compression in MiB (FZMOD_STREAM_MEM_MB;
+  /// 0 = uncapped). When set, the in-flight window is throttled to fit the
+  /// cap instead of scaling with `jobs` — see docs/STREAMING.md.
+  std::size_t stream_mem_mb = 0;
 
   [[nodiscard]] std::size_t resolve_chunk_elems(std::size_t elem_size) const;
   [[nodiscard]] unsigned resolve_jobs() const;
+  [[nodiscard]] u64 resolve_stream_mem_bytes() const;
+};
+
+/// Resolved streaming-memory plan. The budget model charges each in-flight
+/// chunk ~4x its raw bytes (staging slot, host stage copy, device lattice,
+/// compressed output) and splits a cap C as C/2 compute window, C/4 read
+/// staging, C/4 write queue; docs/STREAMING.md derives the arithmetic.
+/// Pure function of its inputs so tests pin the semantics directly.
+struct stream_budget {
+  u64 window = 0;       // max claimed-but-uncommitted chunks
+  unsigned workers = 0; // scheduler worker threads
+  u64 read_slots = 0;   // staging buffers the file source fills ahead
+  u64 write_bytes = 0;  // writer queue byte budget
+};
+
+[[nodiscard]] stream_budget resolve_stream_budget(u64 cap_bytes,
+                                                  u64 chunk_bytes,
+                                                  unsigned jobs);
+
+/// Cumulative counters for one streaming-compression run, filled by the
+/// scheduler and the file IO threads (core/stream_io.hh). The stall
+/// counters also surface as `stream.stall.{read,write}` trace counters
+/// and the accounted peak as `stream.peak_bytes` (docs/OBSERVABILITY.md).
+struct stream_io_stats {
+  u64 window = 0;          // resolved in-flight window
+  unsigned workers = 0;    // resolved scheduler threads
+  u64 read_slots = 0;      // resolved staging depth
+  u64 chunks_total = 0;    // planned chunks
+  u64 chunks_resumed = 0;  // chunks salvaged from a prior interrupted run
+  u64 read_stalls = 0;     // consumer waits on an unfilled staging slot
+  u64 write_stalls = 0;    // sink waits on a full writer queue
+  u64 bytes_read = 0;      // raw field bytes pulled from the source
+  u64 bytes_written = 0;   // archive bytes pushed to the sink
+  u64 peak_bytes = 0;      // accounted peak of scheduler+staging+queue
 };
 
 /// One planned chunk: a contiguous element range plus the dims3 shape the
@@ -164,6 +202,28 @@ class chunked_pipeline {
   /// to `sink` strictly in order. On error the sink's output is invalid.
   void compress_stream(const source_fn& src, dims3 dims,
                        const sink_fn& sink);
+
+  /// Resume/observability hooks for the out-of-core driver
+  /// (core/stream_io.hh). Compression starts at chunk `first_chunk` with
+  /// `committed` holding the directory entries of chunks [0, first_chunk)
+  /// salvaged from a prior run; the final directory covers both. The
+  /// header is suppressed when resuming (it is already on disk).
+  struct stream_progress {
+    u64 first_chunk = 0;
+    std::vector<fmt::chunk_dir_entry> committed;
+    /// Called under the commit lock, after the sink, once per chunk in
+    /// commit order — the resume journal append point.
+    std::function<void(u64 index, const fmt::chunk_dir_entry&)> on_commit;
+    bool emit_header = true;
+    stream_io_stats* io = nullptr;  // optional counter sink
+  };
+
+  /// Streaming compression with resume + counters. The plain overload is
+  /// equivalent to a default-constructed progress. Requires a multi-chunk
+  /// plan when first_chunk > 0 (single-chunk outputs have no directory to
+  /// splice into).
+  void compress_stream(const source_fn& src, dims3 dims,
+                       const sink_fn& sink, stream_progress progress);
 
   /// Decompress any archive version: v3 containers decode chunk-parallel,
   /// v1/v2 delegate to core::pipeline.

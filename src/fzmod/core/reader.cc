@@ -530,6 +530,12 @@ reader<T>::reader(std::span<const u8> archive, std::span<const u8> index,
 }
 
 template <class T>
+reader<T>::reader(std::span<const u8> archive, std::string_view field,
+                  reader_options opt, pipeline_config cfg)
+    : reader(fmt::select_field(archive, field), std::move(opt),
+             std::move(cfg)) {}
+
+template <class T>
 reader<T>::reader(byte_source src, u64 container_bytes, reader_options opt,
                   pipeline_config cfg)
     : reader(std::move(src), container_bytes, std::span<const u8>{},
@@ -544,6 +550,94 @@ reader<T>::reader(byte_source src, u64 container_bytes,
   impl_->fetch = std::move(src);
   impl_->total_bytes = container_bytes;
   impl_->open(index, opt);
+}
+
+template <class T>
+reader<T> reader<T>::open_field(byte_source src, u64 container_bytes,
+                                std::string_view field, reader_options opt,
+                                pipeline_config cfg) {
+  FZMOD_REQUIRE(container_bytes >= sizeof(u32), status::corrupt_archive,
+                "reader: archive too small");
+  u32 magic = 0;
+  src(reinterpret_cast<u8*>(&magic), 0, sizeof(magic));
+  if (magic != fmt::multi_magic) {
+    FZMOD_REQUIRE(field.empty(), status::invalid_argument,
+                  "field selection: archive is single-field; --field only "
+                  "applies to multi-field containers");
+    return reader(std::move(src), container_bytes, std::move(opt),
+                  std::move(cfg));
+  }
+
+  fmt::multi_view mv;
+  FZMOD_REQUIRE(container_bytes >= sizeof(fmt::multi_header),
+                status::corrupt_archive, "multi container too small");
+  src(reinterpret_cast<u8*>(&mv.hdr), 0, sizeof(mv.hdr));
+  FZMOD_REQUIRE(mv.hdr.version == fmt::multi_container_version,
+                status::corrupt_archive, "bad multi container header");
+  if (fmt::verify_enabled()) {
+    FZMOD_REQUIRE(fmt::multi_header_digest(mv.hdr) == mv.hdr.digest_header,
+                  status::corrupt_archive,
+                  "multi container: header digest mismatch");
+  }
+  FZMOD_REQUIRE(mv.hdr.nfields >= 1 &&
+                    mv.hdr.nfields <= fmt::multi_max_fields,
+                status::corrupt_archive,
+                "multi container: implausible field count");
+  const u64 dir_bytes =
+      static_cast<u64>(mv.hdr.nfields) * sizeof(fmt::field_dir_entry);
+  FZMOD_REQUIRE(container_bytes >=
+                    sizeof(fmt::multi_header) + dir_bytes + sizeof(u64),
+                status::corrupt_archive,
+                "multi container: directory truncated");
+  std::vector<u8> tail(static_cast<std::size_t>(dir_bytes) + sizeof(u64));
+  src(tail.data(), container_bytes - tail.size(), tail.size());
+  if (fmt::verify_enabled()) {
+    u64 dir_digest = 0;
+    std::memcpy(&dir_digest, tail.data() + dir_bytes, sizeof(dir_digest));
+    FZMOD_REQUIRE(kernels::chunked_hash(std::span<const u8>(
+                      tail.data(), static_cast<std::size_t>(dir_bytes))) ==
+                      dir_digest,
+                  status::corrupt_archive,
+                  "multi container: directory digest mismatch");
+  }
+  mv.entries.resize(mv.hdr.nfields);
+  std::memcpy(mv.entries.data(), tail.data(),
+              static_cast<std::size_t>(dir_bytes));
+  const u64 payload_bytes =
+      container_bytes - sizeof(fmt::multi_header) - dir_bytes - sizeof(u64);
+  fmt::validate_field_directory(mv.entries, payload_bytes);
+
+  const fmt::field_dir_entry* e = nullptr;
+  if (field.empty()) {
+    FZMOD_REQUIRE(mv.entries.size() == 1, status::invalid_argument,
+                  "multi-field archive holds " +
+                      std::to_string(mv.entries.size()) +
+                      " fields; pick one with --field (available: " +
+                      fmt::field_name_list(mv) + ")");
+    e = &mv.entries[0];
+  } else {
+    e = fmt::find_field(mv, field);
+    FZMOD_REQUIRE(e != nullptr, status::invalid_argument,
+                  "multi-field archive: no field named '" +
+                      std::string(field) + "' (available: " +
+                      fmt::field_name_list(mv) + ")");
+  }
+  const u64 base = sizeof(fmt::multi_header) + e->archive_offset;
+  const u64 bytes = e->archive_bytes;
+  if (fmt::verify_enabled()) {
+    const u64 got = kernels::chunked_hash_stream(
+        bytes, [&](u8* dst, u64 off, std::size_t len) {
+          src(dst, base + off, len);
+        });
+    FZMOD_REQUIRE(got == e->digest, status::corrupt_archive,
+                  "multi container: field '" + std::string(e->name) +
+                      "' archive digest mismatch");
+  }
+  byte_source sub = [src = std::move(src), base](u8* dst, u64 off,
+                                                 std::size_t len) {
+    src(dst, base + off, len);
+  };
+  return reader(std::move(sub), bytes, std::move(opt), std::move(cfg));
 }
 
 template <class T>

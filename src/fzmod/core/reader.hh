@@ -38,6 +38,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fzmod/core/chunked.hh"
@@ -101,6 +102,13 @@ class reader {
   reader(std::span<const u8> archive, std::span<const u8> index,
          reader_options opt = {}, pipeline_config cfg = {});
 
+  /// Open one named field of a (possibly multi-field) archive. Selection
+  /// follows fmt::select_field: single-field archives require an empty
+  /// name, a one-field container tolerates one, and errors list what is
+  /// available. The selected span aliases `archive`.
+  reader(std::span<const u8> archive, std::string_view field,
+         reader_options opt = {}, pipeline_config cfg = {});
+
   /// Open a streaming source of `container_bytes` total bytes (a file a
   /// reader must not map whole, a remote object). Only the directory and
   /// the chunks a read touches are ever fetched.
@@ -108,6 +116,17 @@ class reader {
          pipeline_config cfg = {});
   reader(byte_source src, u64 container_bytes, std::span<const u8> index,
          reader_options opt = {}, pipeline_config cfg = {});
+
+  /// Streaming-source analogue of the field-selecting open: for a
+  /// multi-field container only the 16-byte header and the tail directory
+  /// are fetched up front (plus, when digests are enabled, one streaming
+  /// hash of the selected field), then the reader sees the field archive
+  /// through an offset view of `src` — the other fields are never read.
+  [[nodiscard]] static reader open_field(byte_source src,
+                                         u64 container_bytes,
+                                         std::string_view field,
+                                         reader_options opt = {},
+                                         pipeline_config cfg = {});
 
   /// Open a container file (whole-file read; the reader owns the bytes).
   [[nodiscard]] static reader open_file(const std::string& path,

@@ -1,0 +1,81 @@
+// FZModules — out-of-core streaming compression (docs/STREAMING.md).
+//
+// `chunked_pipeline::compress_stream` accepts any source/sink pair but
+// runs them synchronously on scheduler threads: a slow disk stalls
+// compute and nothing bounds the file-side buffering. This layer is the
+// double-buffered file driver around it:
+//
+//   - a **reader thread** fills slab-aligned staging buffers ahead of the
+//     chunk scheduler (`staged` slots, demand fetches block only when the
+//     prefetch has not reached the chunk yet — counted as a read stall);
+//   - a **writer thread** drains ordered-commit output through a bounded
+//     byte-budget queue (a full queue blocks the committing worker —
+//     counted as a write stall), so compute overlaps both file ends;
+//   - an explicit **peak-memory cap** (`FZMOD_STREAM_MEM_MB` /
+//     `--stream-mem-mb`, `chunked_options::stream_mem_mb`) throttles the
+//     in-flight window, the staging depth, and the write queue together
+//     (core::resolve_stream_budget) instead of letting footprint scale
+//     with `jobs` — fields arbitrarily larger than the cap stream through;
+//   - **crash-safe resume**: every committed chunk appends a digested
+//     record to a sidecar journal (`out + ".fzr"`); after a crash,
+//     `resume = true` salvages the longest prefix of chunks whose bytes
+//     on disk still hash to their directory entries and recompresses only
+//     the rest. Output bytes are identical to an uninterrupted run.
+//   - a **multi-field container** (`compress_files_stream`): one "FZMF"
+//     archive holding many named fields, each a complete single-field
+//     archive selectable by name (`fmt::select_field`, `--field`).
+//
+// Cumulative run counters come back as `stream_io_stats` and surface as
+// `stream.stall.{read,write}` / `stream.peak_bytes` trace counters.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fzmod/core/chunked.hh"
+
+namespace fzmod::core {
+
+/// Knobs for a streaming file compression. Chunking/jobs/memory-cap
+/// resolution is `chunked_options`' (zero = environment, then default).
+struct stream_options {
+  chunked_options chunk;
+  /// Salvage a prior interrupted run of the same output path (validated
+  /// against the resume journal; any mismatch recompresses from scratch).
+  bool resume = false;
+  /// Leave the resume journal behind after a successful finalize. Only
+  /// the crash-recovery tests and the CI resume smoke want this.
+  bool keep_journal = false;
+};
+
+/// One named input field for the multi-field container. The path holds a
+/// headerless little-endian raw field of `dims.len()` elements.
+struct field_input {
+  std::string name;
+  std::string path;
+  dims3 dims;
+};
+
+/// The sidecar journal path for an output archive (`out + ".fzr"`).
+[[nodiscard]] std::string resume_journal_path(const std::string& out_path);
+
+/// Stream-compress one raw field file into a single-field archive
+/// (v3 container, or plain v2 for single-chunk plans) without ever
+/// holding the field in memory. IO overlaps compute on both ends; peak
+/// footprint obeys the resolved stream budget.
+template <class T>
+stream_io_stats compress_file_stream(const std::string& in_path, dims3 dims,
+                                     const std::string& out_path,
+                                     const pipeline_config& cfg,
+                                     const stream_options& opt = {});
+
+/// Stream-compress many named fields into one "FZMF" multi-field
+/// container, sequentially (the memory cap holds per field). Resume is
+/// single-field only and rejected here.
+template <class T>
+stream_io_stats compress_files_stream(std::span<const field_input> fields,
+                                      const std::string& out_path,
+                                      const pipeline_config& cfg,
+                                      const stream_options& opt = {});
+
+}  // namespace fzmod::core

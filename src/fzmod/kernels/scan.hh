@@ -91,10 +91,14 @@ inline void inclusive_scan_rows_async(device::buffer<i32>& data, dims3 dims,
     rt.pool().parallel_for(nrows, 4, [&](std::size_t rlo, std::size_t rhi) {
       for (std::size_t r = rlo; r < rhi; ++r) {
         i32* row = p + r * dims.x;
-        i32 acc = 0;
+        // Accumulate in u32: corrupt quant codes (hostile/bit-flipped
+        // archives) can sum past INT32_MAX, and signed overflow is UB.
+        // Unsigned wraparound matches two's complement, so valid data is
+        // bit-identical and garbage stays contained for digest rejection.
+        u32 acc = 0;
         for (std::size_t i = 0; i < dims.x; ++i) {
-          acc += row[i];
-          row[i] = acc;
+          acc += static_cast<u32>(row[i]);
+          row[i] = static_cast<i32>(acc);
         }
       }
     });
@@ -116,7 +120,10 @@ inline void inclusive_scan_cols_async(device::buffer<i32>& data, dims3 dims,
         for (std::size_t y = 1; y < dims.y; ++y) {
           i32* cur = plane + y * dims.x;
           const i32* prev = cur - dims.x;
-          for (std::size_t x = 0; x < dims.x; ++x) cur[x] += prev[x];
+          for (std::size_t x = 0; x < dims.x; ++x) {
+            cur[x] = static_cast<i32>(static_cast<u32>(cur[x]) +
+                                      static_cast<u32>(prev[x]));
+          }
         }
       }
     });
@@ -137,7 +144,10 @@ inline void inclusive_scan_slices_async(device::buffer<i32>& data, dims3 dims,
         for (std::size_t z = 1; z < dims.z; ++z) {
           i32* cur = p + z * plane + y * dims.x;
           const i32* prev = cur - plane;
-          for (std::size_t x = 0; x < dims.x; ++x) cur[x] += prev[x];
+          for (std::size_t x = 0; x < dims.x; ++x) {
+            cur[x] = static_cast<i32>(static_cast<u32>(cur[x]) +
+                                      static_cast<u32>(prev[x]));
+          }
         }
       }
     });

@@ -1,21 +1,66 @@
 #!/usr/bin/env python3
-"""Docs link checker: every relative markdown link must resolve.
+"""Docs consistency checker: links and FZMOD_* environment variables.
 
-Scans all *.md files in the repository (skipping build/ and .git/) for
-inline links/images `[text](target)`, and verifies each relative target
-exists on disk. External schemes (http/https/mailto) and pure in-page
-anchors (#...) are skipped; a `path#anchor` target is checked for the path
-only. Exits nonzero listing every broken link.
+Two independent checks, both fatal:
+
+1. **Links.** Every relative markdown link `[text](target)` in every
+   *.md file (build/ and .git/ skipped) must resolve on disk. External
+   schemes (http/https/mailto) and pure in-page anchors (#...) are
+   skipped; a `path#anchor` target is checked for the path only.
+
+2. **Environment variables.** The docs and the source tree must agree
+   about `FZMOD_*` knobs, in both directions:
+
+   - every `FZMOD_*` variable *mentioned* in the documented surface
+     (README.md, DESIGN.md, EXPERIMENTS.md, docs/*.md — fenced code
+     blocks stripped) must actually be read somewhere under src/,
+     tools/, bench/, or tests/ (as a quoted `"FZMOD_<NAME>"` string, the
+     form every getenv/env_u64 read site uses) — so the docs cannot
+     describe a knob that no longer exists;
+   - every variable *read* under src/ or tools/ (the shipped library +
+     CLI; bench/test-only knobs are documented per-bench) must have a
+     row in OBSERVABILITY.md's canonical environment-variable table —
+     so a new library knob cannot ship undocumented. A wildcard row
+     like `FZMOD_SERVE_*` covers every variable with that prefix.
+
+   Macro names that merely share the FZMOD_ prefix are blacklisted in
+   NON_ENV.
 
 Run from the repository root (CI does) or any subdirectory of it.
+Exits nonzero listing every broken link and every drifted variable.
 """
 import os
 import re
 import sys
 
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+ENV_MENTION = re.compile(r"FZMOD_[A-Z0-9_]*[A-Z0-9](?:_\*)?")
+ENV_READ = re.compile(r"\"(FZMOD_[A-Z0-9_]+)\"")
+TABLE_ROW = re.compile(r"^\|\s*`(FZMOD_[A-Z0-9_]+(?:_?\*)?)`")
 SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "node_modules"}
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# C/C++ macros (and the test-suite's synthetic knob) that share the
+# FZMOD_ prefix but are not environment variables.
+NON_ENV = {
+    "FZMOD_REQUIRE",
+    "FZMOD_TRACE_SPAN",
+    "FZMOD_TRACE_SPAN_ID",
+    "FZMOD_TRACE_CONCAT",
+    "FZMOD_TEST_KNOB",
+}
+
+# The documented surface for direction 1 (mention -> must be read).
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+DOC_DIRS = ("docs",)
+
+# Source trees scanned for read sites; the first two are the shipped
+# surface whose knobs must appear in the canonical table.
+SHIPPED_TREES = ("src", "tools")
+ALL_TREES = ("src", "tools", "bench", "tests")
+
+CANONICAL_TABLE_DOC = os.path.join("docs", "OBSERVABILITY.md")
+CANONICAL_TABLE_HEADING = "## Canonical environment-variable table"
 
 
 def repo_root() -> str:
@@ -27,9 +72,16 @@ def repo_root() -> str:
     return os.path.abspath(os.getcwd())
 
 
-def main() -> int:
-    root = repo_root()
-    broken = []
+def read_text(path: str) -> str:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def strip_fences(text: str) -> str:
+    return re.sub(r"```.*?```", "", text, flags=re.S)
+
+
+def check_links(root: str, problems: list) -> int:
     checked = 0
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
@@ -37,10 +89,8 @@ def main() -> int:
             if not fn.endswith(".md"):
                 continue
             path = os.path.join(dirpath, fn)
-            with open(path, encoding="utf-8", errors="replace") as f:
-                text = f.read()
             # Fenced code blocks routinely hold example links; strip them.
-            text = re.sub(r"```.*?```", "", text, flags=re.S)
+            text = strip_fences(read_text(path))
             for m in LINK.finditer(text):
                 target = m.group(1)
                 if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
@@ -55,11 +105,104 @@ def main() -> int:
                 checked += 1
                 if not os.path.exists(resolved):
                     rel = os.path.relpath(path, root)
-                    broken.append(f"{rel}: broken link -> {m.group(1)}")
-    for b in broken:
-        print(b, file=sys.stderr)
-    print(f"checked {checked} relative links, {len(broken)} broken")
-    return 1 if broken else 0
+                    problems.append(f"{rel}: broken link -> {m.group(1)}")
+    return checked
+
+
+def doc_paths(root: str):
+    for fn in DOC_FILES:
+        p = os.path.join(root, fn)
+        if os.path.isfile(p):
+            yield p
+    for d in DOC_DIRS:
+        dp = os.path.join(root, d)
+        if not os.path.isdir(dp):
+            continue
+        for fn in sorted(os.listdir(dp)):
+            if fn.endswith(".md"):
+                yield os.path.join(dp, fn)
+
+
+def collect_mentions(root: str) -> dict:
+    """env var -> first 'file' it is mentioned in (docs surface only)."""
+    mentions = {}
+    for path in doc_paths(root):
+        rel = os.path.relpath(path, root)
+        for tok in ENV_MENTION.findall(strip_fences(read_text(path))):
+            if tok.endswith("*") or tok in NON_ENV:
+                continue  # wildcard table rows document a prefix, not a var
+            mentions.setdefault(tok, rel)
+    return mentions
+
+
+def collect_reads(root: str, trees) -> set:
+    reads = set()
+    for tree in trees:
+        top = os.path.join(root, tree)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for fn in filenames:
+                if not fn.endswith((".cc", ".hh", ".h", ".py")):
+                    continue
+                text = read_text(os.path.join(dirpath, fn))
+                reads.update(ENV_READ.findall(text))
+    return reads - NON_ENV
+
+
+def canonical_table_rows(root: str) -> tuple:
+    """(exact_names, wildcard_prefixes) from OBSERVABILITY.md's table."""
+    text = read_text(os.path.join(root, CANONICAL_TABLE_DOC))
+    at = text.find(CANONICAL_TABLE_HEADING)
+    if at < 0:
+        return set(), []
+    section = text[at:]
+    nxt = section.find("\n## ", 1)
+    if nxt > 0:
+        section = section[:nxt]
+    exact, prefixes = set(), []
+    for line in section.splitlines():
+        m = TABLE_ROW.match(line.strip())
+        if not m:
+            continue
+        name = m.group(1)
+        if name.endswith("*"):
+            prefixes.append(name.rstrip("*"))
+        else:
+            exact.add(name)
+    return exact, prefixes
+
+
+def check_env(root: str, problems: list) -> tuple:
+    mentions = collect_mentions(root)
+    all_reads = collect_reads(root, ALL_TREES)
+    shipped_reads = collect_reads(root, SHIPPED_TREES)
+    exact, prefixes = canonical_table_rows(root)
+
+    for var, where in sorted(mentions.items()):
+        if var not in all_reads:
+            problems.append(
+                f"{where}: documents {var}, but nothing under "
+                f"{'/'.join(ALL_TREES)}/ reads it")
+    for var in sorted(shipped_reads):
+        if var in exact or any(var.startswith(p) for p in prefixes):
+            continue
+        problems.append(
+            f"{CANONICAL_TABLE_DOC}: missing canonical-table row for "
+            f"{var} (read under src/ or tools/)")
+    return len(mentions), len(shipped_reads)
+
+
+def main() -> int:
+    root = repo_root()
+    problems = []
+    links = check_links(root, problems)
+    nmention, nshipped = check_env(root, problems)
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(f"checked {links} relative links, {nmention} documented FZMOD_* "
+          f"vars, {nshipped} library/CLI read sites; "
+          f"{len(problems)} problems")
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":

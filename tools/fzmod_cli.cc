@@ -34,8 +34,10 @@
 #include "fzmod/core/reader.hh"
 #include "fzmod/core/registry.hh"
 #include "fzmod/core/stf_pipeline.hh"
+#include "fzmod/core/stream_io.hh"
 #include "fzmod/data/datasets.hh"
 #include "fzmod/data/io.hh"
+#include "fzmod/kernels/chunked_hash.hh"
 #include "fzmod/metrics/metrics.hh"
 #include "fzmod/serve/daemon.hh"
 #include "fzmod/spec/spec.hh"
@@ -62,17 +64,24 @@ using namespace fzmod;
                " v3 container)\n"
                "                   [--trace OUT.json] [--trace-dot OUT.dot]"
                "  (see docs/OBSERVABILITY.md)\n"
+               "                   [--stream] [--stream-mem-mb N] [--resume]"
+               "  (out-of-core; docs/STREAMING.md)\n"
+               "                   [--fields n1=f1.f32,n2=f2.f32]"
+               "  (multi-field container, shared --dims)\n"
                "  fzmod decompress -i IN.fzmod -o OUT.f32 [--jobs N]"
                " [--range OFF,N] [--trace OUT.json]\n"
+               "                   [--field NAME]  (pick a field of a"
+               " multi-field container)\n"
                "                   [--reader-cache-mb N] [--prefetch N]"
                " (seekable reader; docs/RUNTIME.md)\n"
                "                   [--index OUT.fzx] [--use-index IN.fzx]"
                " (sidecar chunk index)\n"
-               "  fzmod inspect    -i IN.fzmod | --pipeline SPEC\n"
+               "  fzmod inspect    -i IN.fzmod [--field NAME] |"
+               " --pipeline SPEC\n"
                "  fzmod modules    (list registered stage modules)\n"
                "  fzmod gen        --dataset cesm|hacc|hurr|nyx"
                " [--field N] -o OUT.f32\n"
-               "  fzmod verify     -i IN.fzmod            (archive"
+               "  fzmod verify     -i IN.fzmod [--field NAME]  (archive"
                " integrity)\n"
                "  fzmod verify     -a ORIG.f32 -b RECON.f32 --dims"
                " X[,Y[,Z]]\n"
@@ -97,7 +106,8 @@ class args {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind('-', 0) != 0) usage(("unexpected token: " + key).c_str());
-      if (key == "--secondary" || key == "--stdio") {
+      if (key == "--secondary" || key == "--stdio" || key == "--stream" ||
+          key == "--resume") {
         flags_[key] = "1";
         continue;
       }
@@ -278,10 +288,89 @@ core::chunked_options chunk_opts(const args& a) {
     opt.jobs = static_cast<unsigned>(flag_u64(a, "--jobs"));
     if (opt.jobs == 0) usage("bad --jobs: must be >= 1");
   }
+  if (a.has("--stream-mem-mb")) {
+    opt.stream_mem_mb =
+        static_cast<std::size_t>(flag_u64(a, "--stream-mem-mb"));
+    if (opt.stream_mem_mb == 0) usage("bad --stream-mem-mb: must be >= 1");
+  }
   return opt;
 }
 
+/// --fields name=path[,name=path...]: the multi-field compression input
+/// list. All fields share the one --dims (the Nyx/Miranda shape: many
+/// same-shaped scalars per snapshot); heterogeneous shapes go through the
+/// library API.
+std::vector<core::field_input> parse_fields(const std::string& s,
+                                            dims3 dims) {
+  std::vector<core::field_input> out;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t comma = std::min(s.find(',', at), s.size());
+    const std::string tok = s.substr(at, comma - at);
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size()) {
+      usage(("bad --fields entry (want name=path): " + tok).c_str());
+    }
+    out.push_back({tok.substr(0, eq), tok.substr(eq + 1), dims});
+    at = comma + 1;
+  }
+  return out;
+}
+
+/// Out-of-core compression path (--stream / --stream-mem-mb / --resume /
+/// --fields): the field never sits in memory, so the in-memory-only knobs
+/// (--auto needs the data, --trace-dot the STF driver) are rejected.
+int cmd_compress_stream(const args& a) {
+  if (a.has("--auto")) {
+    usage("--auto needs the whole field in memory; drop it for --stream");
+  }
+  if (a.has("--trace-dot")) {
+    usage("--trace-dot applies to the STF driver, not --stream");
+  }
+  const dims3 dims = parse_dims(a.require("--dims"));
+  const auto cfg = build_config(a, std::span<const f32>{}, dims);
+  const trace_request tr = parse_trace(a);
+  core::stream_options sopt;
+  sopt.chunk = chunk_opts(a);
+  sopt.resume = a.has("--resume");
+  const std::string out = a.require("-o");
+  stopwatch sw;
+  core::stream_io_stats st;
+  if (a.has("--fields")) {
+    if (a.has("-i")) usage("--fields replaces -i; drop one of them");
+    if (a.has("--resume")) usage("--resume is single-field only");
+    const auto fields = parse_fields(a.get("--fields"), dims);
+    st = core::compress_files_stream<f32>(fields, out, cfg, sopt);
+  } else {
+    st = core::compress_file_stream<f32>(a.require("-i"), dims, out, cfg,
+                                         sopt);
+  }
+  const f64 t = sw.seconds();
+  finish_trace(tr);
+  std::fprintf(stderr,
+               "stream: window %llu, %u workers, %llu read slots; "
+               "%llu/%llu chunks resumed; stalls %llu read / %llu write; "
+               "peak %.1f MiB\n",
+               static_cast<unsigned long long>(st.window), st.workers,
+               static_cast<unsigned long long>(st.read_slots),
+               static_cast<unsigned long long>(st.chunks_resumed),
+               static_cast<unsigned long long>(st.chunks_total),
+               static_cast<unsigned long long>(st.read_stalls),
+               static_cast<unsigned long long>(st.write_stalls),
+               static_cast<f64>(st.peak_bytes) / (1 << 20));
+  std::printf("%llu -> %llu bytes (%.2fx) in %.0f ms (%.3f GB/s)\n",
+              static_cast<unsigned long long>(st.bytes_read),
+              static_cast<unsigned long long>(st.bytes_written),
+              metrics::compression_ratio(st.bytes_read, st.bytes_written),
+              1e3 * t, throughput_gbps(st.bytes_read, t));
+  return 0;
+}
+
 int cmd_compress(const args& a) {
+  if (a.has("--stream") || a.has("--stream-mem-mb") || a.has("--resume") ||
+      a.has("--fields")) {
+    return cmd_compress_stream(a);
+  }
   const dims3 dims = parse_dims(a.require("--dims"));
   const auto field = data::load_f32_field(a.require("-i"), dims);
   const auto cfg = build_config(a, field, dims);
@@ -312,7 +401,14 @@ int cmd_compress(const args& a) {
 }
 
 int cmd_decompress(const args& a) {
-  const auto archive = data::read_file(a.require("-i"));
+  const auto container = data::read_file(a.require("-i"));
+  // Field selection (multi-field containers, docs/STREAMING.md): the
+  // selected span aliases the container and feeds every decode path
+  // unchanged. Single-field archives pass through; naming a field there,
+  // or omitting --field on a many-field container, is a usage error that
+  // lists what is available.
+  const std::span<const u8> archive =
+      core::fmt::select_field(container, a.get("--field"));
   const trace_request tr = parse_trace(a);
   // Any reader-surface flag routes decoding through the seekable reader
   // (LRU chunk cache + prefetch, docs/RUNTIME.md); otherwise the one-shot
@@ -369,17 +465,7 @@ int cmd_decompress(const args& a) {
   return 0;
 }
 
-int cmd_inspect(const args& a) {
-  if (!a.has("-i") && a.has("--pipeline")) {
-    // Offline spec check: echo the canonical one-liner and the JSON form.
-    const auto cfg = config_from_spec(a.get("--pipeline"), {1e-4,
-                                                           eb_mode::rel});
-    const auto sp = spec::from_config(cfg);
-    std::printf("pipeline : %s\n", spec::to_string(sp).c_str());
-    std::printf("json     : %s\n", spec::to_json(sp).c_str());
-    return 0;
-  }
-  const auto archive = data::read_file(a.require("-i"));
+int inspect_archive_bytes(std::span<const u8> archive) {
   if (core::fmt::is_chunk_container(archive)) {
     const auto ci = core::inspect_chunked(archive);
     std::printf("format        : v3 (chunk container)\n");
@@ -425,6 +511,38 @@ int cmd_inspect(const args& a) {
   return 0;
 }
 
+int cmd_inspect(const args& a) {
+  if (!a.has("-i") && a.has("--pipeline")) {
+    // Offline spec check: echo the canonical one-liner and the JSON form.
+    const auto cfg = config_from_spec(a.get("--pipeline"), {1e-4,
+                                                           eb_mode::rel});
+    const auto sp = spec::from_config(cfg);
+    std::printf("pipeline : %s\n", spec::to_string(sp).c_str());
+    std::printf("json     : %s\n", spec::to_json(sp).c_str());
+    return 0;
+  }
+  const auto container = data::read_file(a.require("-i"));
+  if (core::fmt::is_multi_container(container) && !a.has("--field")) {
+    // No field named: summarize the container instead of erroring, so
+    // `inspect` is how you discover what a multi-field archive holds.
+    const auto mv = core::fmt::parse_multi_container(container);
+    std::printf("format        : multi-field container (%u fields)\n",
+                static_cast<unsigned>(mv.hdr.nfields));
+    std::printf("container     : %zu bytes\n", container.size());
+    for (const auto& e : mv.entries) {
+      const dims3 fd{e.dims[0], e.dims[1], e.dims[2]};
+      std::printf("  %-16s : %zu x %zu x %zu %s, %llu bytes\n", e.name,
+                  fd.x, fd.y, fd.z,
+                  to_string(static_cast<dtype>(e.type)),
+                  static_cast<unsigned long long>(e.archive_bytes));
+    }
+    std::printf("inspect one with --field NAME\n");
+    return 0;
+  }
+  return inspect_archive_bytes(
+      core::fmt::select_field(container, a.get("--field")));
+}
+
 int cmd_modules() {
   // The registry self-registers its built-ins on first use, so this lists
   // exactly what a `--pipeline` spec can name.
@@ -455,10 +573,8 @@ int cmd_gen(const args& a) {
   return 0;
 }
 
-int cmd_verify(const args& a) {
-  // Archive-integrity mode: check the digests an archive carries.
-  if (a.has("-i")) {
-    const auto archive = data::read_file(a.require("-i"));
+int verify_archive_bytes(std::span<const u8> archive) {
+  {
     if (core::fmt::is_chunk_container(archive)) {
       const auto rep = core::verify_chunked(archive);
       std::printf("format version : v3 (chunk container)\n");
@@ -493,6 +609,40 @@ int cmd_verify(const args& a) {
     row("spec", rep.spec_ok);
     std::printf("archive        : %s\n", rep.ok() ? "OK" : "CORRUPT");
     return rep.ok() ? 0 : 1;
+  }
+}
+
+int cmd_verify(const args& a) {
+  // Archive-integrity mode: check the digests an archive carries.
+  if (a.has("-i")) {
+    const auto container = data::read_file(a.require("-i"));
+    if (core::fmt::is_multi_container(container)) {
+      if (a.has("--field")) {
+        // select_field checks the named field's directory digest before
+        // handing back its bytes; the inner digests follow.
+        return verify_archive_bytes(
+            core::fmt::select_field(container, a.get("--field")));
+      }
+      // No field named: verify the container structure, then every field.
+      const auto mv = core::fmt::parse_multi_container(container,
+                                                       /*check_digests=*/true);
+      std::printf("format version : multi-field container (%u fields)\n",
+                  static_cast<unsigned>(mv.hdr.nfields));
+      int rc = 0;
+      for (const auto& e : mv.entries) {
+        const auto fa = core::fmt::field_archive(mv, e);
+        const bool digest_ok = kernels::chunked_hash(fa) == e.digest;
+        std::printf("--- field '%s' : %s\n", e.name,
+                    digest_ok ? "directory digest ok"
+                              : "DIRECTORY DIGEST MISMATCH");
+        if (!digest_ok) rc = 1;
+        if (verify_archive_bytes(fa) != 0) rc = 1;
+      }
+      std::printf("container      : %s\n", rc == 0 ? "OK" : "CORRUPT");
+      return rc;
+    }
+    return verify_archive_bytes(
+        core::fmt::select_field(container, a.get("--field")));
   }
   // Reconstruction-quality mode: compare two raw fields.
   const dims3 dims = parse_dims(a.require("--dims"));
